@@ -1,0 +1,96 @@
+// Command sketchbench regenerates the tables and figures of the SketchML
+// paper's evaluation on the synthetic substrate.
+//
+// Usage:
+//
+//	sketchbench -list
+//	sketchbench -run fig8a
+//	sketchbench -run all -scale 0.5
+//
+// Each experiment prints the rows or series the corresponding table/figure
+// reports; EXPERIMENTS.md records a full run alongside the paper's numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sketchml"
+)
+
+func main() {
+	var (
+		runID  = flag.String("run", "", "experiment id to run, or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		scale  = flag.Float64("scale", 1.0, "dataset/epoch scale factor (1.0 = full)")
+		seed   = flag.Int64("seed", 1, "random seed for data generation")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	)
+	flag.Parse()
+
+	if *list || *runID == "" {
+		fmt.Println("available experiments:")
+		for _, id := range sketchml.ExperimentIDs() {
+			fmt.Printf("  %-18s %s\n", id, sketchml.ExperimentTitle(id))
+		}
+		if *runID == "" && !*list {
+			fmt.Println("\nrun one with: sketchbench -run <id>  (or -run all)")
+		}
+		return
+	}
+
+	cfg := sketchml.ExperimentConfig{Scale: *scale, Seed: *seed}
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = sketchml.ExperimentIDs()
+		// "tab3" aliases "fig13"; skip the duplicate in a full sweep.
+		filtered := ids[:0]
+		for _, id := range ids {
+			if id != "tab3" {
+				filtered = append(filtered, id)
+			}
+		}
+		ids = filtered
+	}
+	failed := false
+	enc := json.NewEncoder(os.Stdout)
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := sketchml.RunExperiment(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sketchbench: %v\n", err)
+			failed = true
+			continue
+		}
+		if *asJSON {
+			if err := enc.Encode(jsonReport{
+				ID:      rep.ID,
+				Title:   rep.Title,
+				Seconds: time.Since(start).Seconds(),
+				Metrics: rep.Metrics,
+				Text:    rep.Text,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "sketchbench: %v\n", err)
+				failed = true
+			}
+			continue
+		}
+		fmt.Printf("== %s: %s (%.1fs) ==\n%s\n", rep.ID, rep.Title, time.Since(start).Seconds(), rep.Text)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// jsonReport is the machine-readable experiment record emitted by -json,
+// one JSON object per line.
+type jsonReport struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Seconds float64            `json:"seconds"`
+	Metrics map[string]float64 `json:"metrics"`
+	Text    string             `json:"text"`
+}

@@ -1,0 +1,162 @@
+// Command sketchml trains a model with distributed SGD while compressing
+// gradient traffic with a selectable codec, and reports per-epoch loss,
+// traffic, and timing.
+//
+// Usage:
+//
+//	sketchml -data kdd12 -model LR -codec sketchml -workers 10 -epochs 5
+//	sketchml -data path/to/file.libsvm -model SVM -codec zipml16
+//	sketchml -data kdd10 -codec adam -tcp            # real loopback TCP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sketchml"
+	"sketchml/internal/codec"
+	"sketchml/internal/dataset"
+	"sketchml/internal/stats"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "kdd10", "dataset: kdd10|kdd12|ctr or a LibSVM file path")
+		modelN    = flag.String("model", "LR", "model: LR|SVM|Linear")
+		codecN    = flag.String("codec", "sketchml", "codec: sketchml|adam|adam32|zipml8|zipml16|key|keyquan|onebit|topk|topk-ef")
+		workers   = flag.Int("workers", 4, "number of workers")
+		epochs    = flag.Int("epochs", 3, "training epochs")
+		batch     = flag.Float64("batch", 0.1, "mini-batch fraction of the training set")
+		lr        = flag.Float64("lr", 0.1, "Adam learning rate")
+		lambda    = flag.Float64("lambda", 0.01, "L2 regularization")
+		seed      = flag.Int64("seed", 1, "random seed")
+		useTCP    = flag.Bool("tcp", false, "exchange gradients over loopback TCP")
+		buckets   = flag.Int("buckets", 256, "SketchML quantile buckets (q)")
+		rows      = flag.Int("rows", 2, "MinMaxSketch rows (s)")
+		groups    = flag.Int("groups", 8, "MinMaxSketch groups (r)")
+		colsFrac  = flag.Float64("cols", 0.2, "MinMaxSketch columns as a fraction of nnz (t/d)")
+		topology  = flag.String("topology", "driver", "aggregation topology: driver|ps|ssp")
+		servers   = flag.Int("servers", 4, "parameter servers (topology=ps)")
+		staleness = flag.Int("staleness", 2, "staleness bound (topology=ssp)")
+		straggler = flag.Float64("straggler", 1, "slowdown factor of the last worker (topology=ssp)")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*data, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	mdl, err := sketchml.ModelByName(*modelN)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := buildCodec(*codecN, *buckets, *rows, *groups, *colsFrac)
+	if err != nil {
+		fatal(err)
+	}
+
+	train, test := ds.Split(0.75, *seed)
+	fmt.Printf("dataset: %s (%d train / %d test, D=%d, avg nnz %.1f)\n",
+		*data, train.N(), test.N(), ds.Dim, ds.AvgNNZ())
+	fmt.Printf("model %s, codec %s, %d workers, batch %.0f%%\n\n",
+		mdl.Name(), c.Name(), *workers, *batch*100)
+
+	cfg := sketchml.TrainConfig{
+		Model:         mdl,
+		Codec:         c,
+		Optimizer:     func(dim uint64) sketchml.Optimizer { return sketchml.NewAdam(*lr, dim) },
+		Workers:       *workers,
+		BatchFraction: *batch,
+		Epochs:        *epochs,
+		Lambda:        *lambda,
+		Seed:          *seed,
+		UseTCP:        *useTCP,
+	}
+	var res *sketchml.TrainResult
+	switch *topology {
+	case "driver":
+		res, err = sketchml.Train(cfg, train, test)
+	case "ps":
+		res, err = sketchml.TrainPS(cfg, *servers, train, test)
+	case "ssp":
+		speeds := make([]float64, *workers)
+		for w := range speeds {
+			speeds[w] = 1
+		}
+		if *workers > 0 {
+			speeds[*workers-1] = *straggler
+		}
+		res, err = sketchml.TrainSSP(cfg, *staleness, speeds, train, test)
+	default:
+		fatal(fmt.Errorf("unknown topology %q", *topology))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	table := stats.NewTable("epoch", "test loss", "accuracy", "msg KB/round", "sim s", "wall s")
+	for _, e := range res.Epochs {
+		table.AddRow(e.Epoch, e.TestLoss, e.Accuracy,
+			float64(e.UpBytes)/float64(e.Rounds)/1024,
+			e.SimTime.Seconds(), e.WallTime.Seconds())
+	}
+	fmt.Println(table.String())
+	fmt.Printf("final: loss %.4f, accuracy %.3f, avg %.1f KB/round upstream\n",
+		res.FinalLoss, res.FinalAccuracy, res.AvgUpBytesPerRound()/1024)
+}
+
+func loadDataset(name string, seed int64) (*sketchml.Dataset, error) {
+	switch name {
+	case "kdd10":
+		return sketchml.KDD10Like(seed), nil
+	case "kdd12":
+		return sketchml.KDD12Like(seed), nil
+	case "ctr":
+		return sketchml.CTRLike(seed), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("open dataset: %w", err)
+	}
+	defer f.Close()
+	return dataset.ParseLibSVM(f, 0)
+}
+
+func buildCodec(name string, buckets, rows, groups int, colsFrac float64) (sketchml.Codec, error) {
+	opts := codec.DefaultOptions()
+	opts.Buckets = buckets
+	opts.Rows = rows
+	opts.Groups = groups
+	opts.ColsFraction = colsFrac
+	switch name {
+	case "sketchml":
+		return codec.NewSketchML(opts)
+	case "adam":
+		return &codec.Raw{}, nil
+	case "adam32":
+		return &codec.Raw{Float32: true}, nil
+	case "zipml8":
+		return &codec.ZipML{Bits: 8}, nil
+	case "zipml16":
+		return &codec.ZipML{Bits: 16}, nil
+	case "key":
+		opts.Quantize, opts.MinMax = false, false
+		return codec.NewSketchML(opts)
+	case "keyquan":
+		opts.MinMax = false
+		return codec.NewSketchML(opts)
+	case "onebit":
+		return &codec.OneBit{}, nil
+	case "topk":
+		return &codec.TopK{Fraction: 0.1}, nil
+	case "topk-ef":
+		return codec.NewErrorFeedback(&codec.TopK{Fraction: 0.1}), nil
+	}
+	return nil, fmt.Errorf("unknown codec %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sketchml: %v\n", err)
+	os.Exit(1)
+}

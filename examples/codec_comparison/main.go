@@ -1,0 +1,79 @@
+// Codec comparison: every gradient codec in the repository applied to the
+// same realistic gradient, reporting size, compression rate, and value
+// fidelity — the paper's Figure 8(b) and Table 4 in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"sketchml"
+	"sketchml/internal/codec"
+	"sketchml/internal/stats"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	const dim = 500_000
+	m := map[uint64]float64{}
+	for len(m) < 40_000 {
+		v := rng.ExpFloat64() * 0.02
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		m[uint64(rng.Int63n(dim))] = v
+	}
+	g := sketchml.GradientFromMap(dim, m)
+	fmt.Printf("gradient: %d nonzeros over %d dims (%.3f%% dense)\n\n",
+		g.NNZ(), g.Dim, 100*g.Sparsity())
+
+	keyOnly := codec.DefaultOptions()
+	keyOnly.Quantize, keyOnly.MinMax = false, false
+	keyQuan := codec.DefaultOptions()
+	keyQuan.MinMax = false
+
+	codecs := []sketchml.Codec{
+		&codec.Raw{},
+		&codec.Raw{Float32: true},
+		&codec.ZipML{Bits: 16},
+		&codec.ZipML{Bits: 8},
+		codec.MustSketchML(keyOnly),
+		codec.MustSketchML(keyQuan),
+		codec.MustSketchML(codec.DefaultOptions()),
+	}
+
+	var rawSize int
+	table := stats.NewTable("codec", "bytes", "rate", "keys exact", "mean rel err %", "sign flips")
+	for _, c := range codecs {
+		msg, err := c.Encode(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		back, err := c.Decode(msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rawSize == 0 {
+			rawSize = len(msg)
+		}
+		exact := back.NNZ() == g.NNZ()
+		var relSum float64
+		flips := 0
+		for i := range g.Keys {
+			if back.Keys[i] != g.Keys[i] {
+				exact = false
+			}
+			v, d := g.Values[i], back.Values[i]
+			relSum += math.Abs(v-d) / math.Abs(v)
+			if v*d < 0 {
+				flips++
+			}
+		}
+		table.AddRow(c.Name(), len(msg), float64(rawSize)/float64(len(msg)),
+			exact, 100*relSum/float64(g.NNZ()), flips)
+	}
+	fmt.Println(table.String())
+	fmt.Println("Keys are exact for every codec; only value fidelity and size differ.")
+}

@@ -1,0 +1,3 @@
+module sketchml
+
+go 1.22

@@ -1,0 +1,452 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPairRoundTrip(t *testing.T) {
+	a, b := Pair(1)
+	defer a.Close()
+	msg := []byte("hello gradient")
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	// Reply direction.
+	if err := b.Send([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = a.Recv(); err != nil || string(got) != "ack" {
+		t.Fatalf("reply: %q, %v", got, err)
+	}
+}
+
+func TestPairCopiesBuffers(t *testing.T) {
+	a, b := Pair(1)
+	defer a.Close()
+	msg := []byte{1, 2, 3}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	msg[0] = 99 // mutate after send
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("Send did not copy the buffer")
+	}
+}
+
+func TestPairClose(t *testing.T) {
+	a, b := Pair(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+	if err := a.Send([]byte("x")); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPairDrainsQueuedAfterClose(t *testing.T) {
+	a, b := Pair(4)
+	if err := a.Send([]byte("queued")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := b.Recv()
+	if err != nil || string(got) != "queued" {
+		t.Fatalf("queued message lost: %q, %v", got, err)
+	}
+}
+
+func TestCountingConn(t *testing.T) {
+	a, b := Pair(4)
+	defer a.Close()
+	ca, cb := NewCounting(a), NewCounting(b)
+	if err := ca.Send(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Send(make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := ca.Stats(), cb.Stats()
+	if sa.BytesSent != 150 || sa.MsgsSent != 2 {
+		t.Errorf("sender stats %+v", sa)
+	}
+	if sb.BytesRecv != 150 || sb.MsgsRecv != 2 {
+		t.Errorf("receiver stats %+v", sb)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	serverDone := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < 3; i++ {
+			msg, err := c.Recv()
+			if err != nil {
+				serverDone <- err
+				return
+			}
+			if err := c.Send(append([]byte("echo:"), msg...)); err != nil {
+				serverDone <- err
+				return
+			}
+		}
+		serverDone <- nil
+	}()
+
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		payload := []byte(fmt.Sprintf("grad-%d", i))
+		if err := c.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := "echo:" + string(payload); string(got) != want {
+			t.Fatalf("round %d: got %q, want %q", i, got, want)
+		}
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPLargeAndEmptyFrames(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(msg); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	for _, msg := range [][]byte{{}, big} {
+		if err := c.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("frame of %d bytes corrupted", len(msg))
+		}
+	}
+}
+
+func TestTCPManyWorkers(t *testing.T) {
+	// A miniature fan-in: several workers connect and send concurrently.
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const workers = 5
+
+	var wg sync.WaitGroup
+	received := make(chan string, workers)
+	go func() {
+		for i := 0; i < workers; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c Conn) {
+				defer wg.Done()
+				defer c.Close()
+				msg, err := c.Recv()
+				if err == nil {
+					received <- string(msg)
+				}
+			}(c)
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			c, err := Dial(l.Addr())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			_ = c.Send([]byte(fmt.Sprintf("worker-%d", w)))
+		}(w)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < workers; i++ {
+		select {
+		case m := <-received:
+			seen[m] = true
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout waiting for workers")
+		}
+	}
+	if len(seen) != workers {
+		t.Errorf("saw %d distinct workers, want %d", len(seen), workers)
+	}
+	wg.Wait()
+}
+
+func TestNetworkModelValidate(t *testing.T) {
+	if err := LabCluster().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := ProductionCluster().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []NetworkModel{
+		{BandwidthBytesPerSec: 0, Congestion: 1},
+		{BandwidthBytesPerSec: 1, LatencySec: -1, Congestion: 1},
+		{BandwidthBytesPerSec: 1, Congestion: 0},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestRoundTimeScalesWithBytesAndWorkers(t *testing.T) {
+	m := LabCluster()
+	small := m.RoundTime(1000, 1000, 10)
+	big := m.RoundTime(1_000_000, 1_000_000, 10)
+	if big <= small {
+		t.Error("more bytes should take longer")
+	}
+	few := m.RoundTime(1_000_000, 100_000, 5)
+	many := m.RoundTime(1_000_000, 100_000, 50)
+	if many <= few {
+		t.Error("more workers should increase broadcast cost")
+	}
+}
+
+func TestEpochTimeCrossover(t *testing.T) {
+	// The Figure 11 phenomenon: for a heavy (uncompressed) message, going
+	// from 10 to 50 workers makes the epoch SLOWER (communication dominates),
+	// while for a light (compressed) message it gets faster.
+	m := LabCluster()
+	const computeSec = 100.0
+	const rounds = 10
+	heavyUp, heavyDown := int64(4<<20), int64(400<<10) // 4 MB up, 400 KB down each
+	lightUp, lightDown := heavyUp/16, heavyDown/16
+
+	heavy10 := m.EpochTime(computeSec, 10, rounds, heavyUp, heavyDown)
+	heavy50 := m.EpochTime(computeSec, 50, rounds, heavyUp, heavyDown)
+	light10 := m.EpochTime(computeSec, 10, rounds, lightUp, lightDown)
+	light50 := m.EpochTime(computeSec, 50, rounds, lightUp, lightDown)
+
+	if heavy50 <= heavy10 {
+		t.Errorf("uncompressed should degrade at 50 workers: %v vs %v", heavy50, heavy10)
+	}
+	if light50 >= light10 {
+		t.Errorf("compressed should improve at 50 workers: %v vs %v", light50, light10)
+	}
+}
+
+func TestEpochTimeWorkerClamp(t *testing.T) {
+	m := LabCluster()
+	if m.EpochTime(1, 0, 1, 0, 0) != m.EpochTime(1, 1, 1, 0, 0) {
+		t.Error("workers should clamp to 1")
+	}
+}
+
+func TestCountingConnConcurrentStress(t *testing.T) {
+	// One sender, one receiver hammering the same counting wrapper; counts
+	// must reconcile exactly (atomic counters, no lost updates).
+	a, b := Pair(64)
+	ca, cb := NewCounting(a), NewCounting(b)
+	const msgs = 5000
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if err := ca.Send(make([]byte, i%97+1)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if _, err := cb.Recv(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, sb := ca.Stats(), cb.Stats()
+	if sa.MsgsSent != msgs || sb.MsgsRecv != msgs {
+		t.Errorf("message counts: sent %d, recv %d", sa.MsgsSent, sb.MsgsRecv)
+	}
+	if sa.BytesSent != sb.BytesRecv {
+		t.Errorf("byte counts disagree: %d vs %d", sa.BytesSent, sb.BytesRecv)
+	}
+}
+
+func TestTCPBidirectionalConcurrent(t *testing.T) {
+	// Full-duplex: both directions stream simultaneously without framing
+	// corruption.
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const msgs = 500
+	serverDone := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		defer c.Close()
+		errs := make(chan error, 2)
+		go func() {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(make([]byte, i%251+1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+		go func() {
+			for i := 0; i < msgs; i++ {
+				msg, err := c.Recv()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(msg) != i%131+1 {
+					errs <- fmt.Errorf("frame %d has %d bytes, want %d", i, len(msg), i%131+1)
+					return
+				}
+			}
+			errs <- nil
+		}()
+		for i := 0; i < 2; i++ {
+			if err := <-errs; err != nil {
+				serverDone <- err
+				return
+			}
+		}
+		serverDone <- nil
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	clientErrs := make(chan error, 2)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if err := c.Send(make([]byte, i%131+1)); err != nil {
+				clientErrs <- err
+				return
+			}
+		}
+		clientErrs <- nil
+	}()
+	go func() {
+		for i := 0; i < msgs; i++ {
+			msg, err := c.Recv()
+			if err != nil {
+				clientErrs <- err
+				return
+			}
+			if len(msg) != i%251+1 {
+				clientErrs <- fmt.Errorf("frame %d has %d bytes, want %d", i, len(msg), i%251+1)
+				return
+			}
+		}
+		clientErrs <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-clientErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatal(err)
+	}
+}

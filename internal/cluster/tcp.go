@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// maxFrame bounds a single message to guard against corrupt length headers.
+const maxFrame = 1 << 30
+
+// tcpConn frames messages over a net.Conn with a little-endian uint32
+// length prefix.
+type tcpConn struct {
+	c   net.Conn
+	hdr [4]byte
+}
+
+// WrapNetConn adapts a stream connection into a framed cluster Conn.
+func WrapNetConn(c net.Conn) Conn { return &tcpConn{c: c} }
+
+// Send implements Conn.
+func (t *tcpConn) Send(msg []byte) error {
+	if len(msg) > maxFrame {
+		return fmt.Errorf("cluster: frame %d exceeds limit", len(msg))
+	}
+	binary.LittleEndian.PutUint32(t.hdr[:], uint32(len(msg)))
+	if _, err := t.c.Write(t.hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(msg)
+	return err
+}
+
+// Recv implements Conn.
+func (t *tcpConn) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(t.c, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Close implements Conn.
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// Listener accepts framed connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a TCP listener on addr ("127.0.0.1:0" for an ephemeral
+// loopback port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address (useful with ephemeral ports).
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept blocks for the next incoming connection.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapNetConn(c), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Dial connects to a framed TCP listener, retrying briefly so workers can
+// start before the driver finishes binding.
+func Dial(addr string) (Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return WrapNetConn(c), nil
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("cluster: dial %s: %w", addr, lastErr)
+}

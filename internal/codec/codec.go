@@ -1,0 +1,137 @@
+// Package codec implements the gradient compression codecs compared in the
+// SketchML paper: the raw key–value format exchanged by plain Adam SGD, the
+// ZipML uniform-quantification baseline, and the SketchML framework itself
+// (quantile-bucket quantification + MinMaxSketch + delta-binary keys), with
+// per-component switches for the paper's Figure 8 ablation.
+//
+// Every codec turns a sparse gradient into a wire message and back. Keys
+// always survive exactly (Section 3.4: a corrupted key updates the wrong
+// model dimension); values may be lossy depending on the codec.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"sketchml/internal/gradient"
+)
+
+// Codec encodes sparse gradients into wire messages and back.
+type Codec interface {
+	// Name identifies the codec in experiment output (e.g. "SketchML").
+	Name() string
+	// Encode serializes the gradient. The gradient must be valid
+	// (sorted unique keys, finite values).
+	Encode(g *gradient.Sparse) ([]byte, error)
+	// Decode reconstructs a gradient from a message produced by Encode.
+	Decode(data []byte) (*gradient.Sparse, error)
+}
+
+// Breakdown reports where an encoded message's bytes went, for the
+// Figure 8(b) message-size analysis.
+type Breakdown struct {
+	Header int // fixed framing
+	Keys   int // key storage (delta-binary / fixed width)
+	Values int // value storage (floats, packed indexes, or sketch cells)
+	Meta   int // quantizer tables (bucket means, ranges)
+}
+
+// Total returns the full message size.
+func (b Breakdown) Total() int { return b.Header + b.Keys + b.Values + b.Meta }
+
+// Analyzer is implemented by codecs that can attribute their encoded bytes.
+type Analyzer interface {
+	// Analyze re-encodes g and reports the byte attribution.
+	Analyze(g *gradient.Sparse) (Breakdown, error)
+}
+
+// message type tags, first byte of every encoded message.
+const (
+	tagRaw      = 0x01
+	tagZipML    = 0x02
+	tagSketchML = 0x03
+)
+
+var (
+	errTruncated = errors.New("codec: truncated message")
+	errBadTag    = errors.New("codec: message tag does not match codec")
+)
+
+// reader is a cursor over an encoded message with checked reads.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) remain() int { return len(r.data) - r.off }
+
+func (r *reader) u8() (byte, error) {
+	if r.remain() < 1 {
+		return 0, errTruncated
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.remain() < 4 {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.remain() < 8 {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *reader) f32() (float32, error) {
+	v, err := r.u32()
+	return math.Float32frombits(v), err
+}
+
+// take returns the rest of the buffer for sub-decoders and advances by the
+// amount they consumed via the returned advance func.
+func (r *reader) rest() []byte { return r.data[r.off:] }
+
+func (r *reader) advance(n int) error {
+	if n < 0 || n > r.remain() {
+		return errTruncated
+	}
+	r.off += n
+	return nil
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendF32(dst []byte, v float32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+}
+
+// checkTag validates the leading message tag.
+func checkTag(r *reader, want byte) error {
+	tag, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if tag != want {
+		return fmt.Errorf("%w: got 0x%02x, want 0x%02x", errBadTag, tag, want)
+	}
+	return nil
+}

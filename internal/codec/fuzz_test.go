@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// decoders under fuzz: every codec must reject arbitrary garbage with an
+// error, never panic or return an invalid gradient. The distributed runtime
+// feeds network bytes straight into Decode, so this is a hard robustness
+// requirement.
+func allDecoders() []Codec {
+	return []Codec{
+		&Raw{},
+		&Raw{Float32: true},
+		&ZipML{Bits: 8},
+		&ZipML{Bits: 16},
+		&OneBit{},
+		&TopK{Fraction: 0.5},
+		MustSketchML(DefaultOptions()),
+	}
+}
+
+func TestDecodeRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	decoders := allDecoders()
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		for _, c := range decoders {
+			g, err := func() (g *gradientResult, err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked on %d random bytes: %v", c.Name(), n, r)
+					}
+				}()
+				dec, derr := c.Decode(buf)
+				if derr != nil {
+					return nil, derr
+				}
+				return &gradientResult{dec.NNZ()}, nil
+			}()
+			if err == nil && g == nil {
+				t.Fatalf("%s returned nil gradient without error", c.Name())
+			}
+		}
+	}
+}
+
+type gradientResult struct{ nnz int }
+
+func TestDecodeBitFlippedMessages(t *testing.T) {
+	// Flip bits in valid messages: decoders must either error or produce a
+	// structurally valid gradient — never panic.
+	rng := rand.New(rand.NewSource(2))
+	g := randomGradient(rng, 50000, 800)
+	for _, c := range allDecoders() {
+		msg, err := c.Encode(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 500; trial++ {
+			mut := append([]byte(nil), msg...)
+			flips := 1 + rng.Intn(4)
+			for f := 0; f < flips; f++ {
+				pos := rng.Intn(len(mut))
+				mut[pos] ^= 1 << rng.Intn(8)
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked on bit-flipped message: %v", c.Name(), r)
+					}
+				}()
+				dec, err := c.Decode(mut)
+				if err == nil {
+					if verr := dec.Validate(); verr != nil {
+						t.Fatalf("%s returned invalid gradient from corrupted message: %v", c.Name(), verr)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// FuzzSketchMLDecode is a native fuzz target for the most complex decoder.
+// Run with: go test -fuzz FuzzSketchMLDecode ./internal/codec
+func FuzzSketchMLDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGradient(rng, 10000, 200)
+	c := MustSketchML(DefaultOptions())
+	if msg, err := c.Encode(g); err == nil {
+		f.Add(msg)
+	}
+	empty := randomGradient(rng, 100, 1)
+	if msg, err := c.Encode(empty); err == nil {
+		f.Add(msg)
+	}
+	f.Add([]byte{tagSketchML})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := c.Decode(data)
+		if err == nil {
+			if verr := dec.Validate(); verr != nil {
+				t.Fatalf("decoded invalid gradient: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package codec
+
+import (
+	"fmt"
+
+	"sketchml/internal/gradient"
+)
+
+// Raw is the uncompressed baseline: what plain (Adam) distributed SGD sends.
+// Keys are fixed-width integers (4 bytes when the model dimension fits,
+// 8 otherwise) and values are IEEE floats of the configured width. This is
+// the paper's 12d-byte accounting (Section 3.5) when Float64 is used with
+// 4-byte keys.
+type Raw struct {
+	// Float32 stores values in single precision (the paper's "Adam-float"
+	// variant in Table 4); otherwise double precision ("Adam-double").
+	Float32 bool
+}
+
+// Name implements Codec.
+func (c *Raw) Name() string {
+	if c.Float32 {
+		return "Adam-float"
+	}
+	return "Adam"
+}
+
+func wideKeys(dim uint64) bool { return dim > 1<<32 }
+
+// Encode implements Codec.
+//
+// Layout: tag | flags(bit0=float32, bit1=wideKeys) | dim u64 | count u32 |
+// keys (4 or 8 bytes each) | values (4 or 8 bytes each).
+func (c *Raw) Encode(g *gradient.Sparse) ([]byte, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	wide := wideKeys(g.Dim)
+	var flags byte
+	if c.Float32 {
+		flags |= 1
+	}
+	if wide {
+		flags |= 2
+	}
+	vb := 8
+	if c.Float32 {
+		vb = 4
+	}
+	kb := 4
+	if wide {
+		kb = 8
+	}
+	out := make([]byte, 0, 14+len(g.Keys)*(kb+vb))
+	out = append(out, tagRaw, flags)
+	out = appendU64(out, g.Dim)
+	out = appendU32(out, uint32(len(g.Keys)))
+	for _, k := range g.Keys {
+		if wide {
+			out = appendU64(out, k)
+		} else {
+			out = appendU32(out, uint32(k))
+		}
+	}
+	for _, v := range g.Values {
+		if c.Float32 {
+			out = appendF32(out, float32(v))
+		} else {
+			out = appendF64(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (c *Raw) Decode(data []byte) (*gradient.Sparse, error) {
+	r := &reader{data: data}
+	if err := checkTag(r, tagRaw); err != nil {
+		return nil, err
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	f32 := flags&1 != 0
+	wide := flags&2 != 0
+	dim, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	kb, vb := 4, 8
+	if wide {
+		kb = 8
+	}
+	if f32 {
+		vb = 4
+	}
+	if int64(r.remain()) < int64(count)*int64(kb+vb) {
+		return nil, errTruncated
+	}
+	g := gradient.NewSparse(dim, int(count))
+	for i := uint32(0); i < count; i++ {
+		var k uint64
+		if wide {
+			k, err = r.u64()
+		} else {
+			var k32 uint32
+			k32, err = r.u32()
+			k = uint64(k32)
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.Keys = append(g.Keys, k)
+	}
+	for i := uint32(0); i < count; i++ {
+		var v float64
+		if f32 {
+			var v32 float32
+			v32, err = r.f32()
+			v = float64(v32)
+		} else {
+			v, err = r.f64()
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.Values = append(g.Values, v)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: corrupt raw message: %w", err)
+	}
+	return g, nil
+}
+
+// Analyze implements Analyzer.
+func (c *Raw) Analyze(g *gradient.Sparse) (Breakdown, error) {
+	if err := g.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	kb, vb := 4, 8
+	if wideKeys(g.Dim) {
+		kb = 8
+	}
+	if c.Float32 {
+		vb = 4
+	}
+	return Breakdown{
+		Header: 14,
+		Keys:   kb * g.NNZ(),
+		Values: vb * g.NNZ(),
+	}, nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

@@ -1,0 +1,578 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sketchml/internal/bitpack"
+	"sketchml/internal/gradient"
+	"sketchml/internal/hashing"
+	"sketchml/internal/keycoding"
+	"sketchml/internal/quantizer"
+	"sketchml/internal/sketch/minmax"
+)
+
+// Options configures the SketchML codec. The zero value is not valid; start
+// from DefaultOptions.
+type Options struct {
+	// Buckets is q, the number of quantile buckets per sign pane
+	// (Section 3.2; the paper finds q=256 "often enough").
+	Buckets int
+	// SketchSize is m, the quantile sketch summary size (default 128).
+	SketchSize int
+	// Rows is s, the number of MinMaxSketch hash tables (default 2,
+	// matching the paper's "size of MinMaxSketch is 2 × d/5").
+	Rows int
+	// ColsFraction sets t, the total MinMaxSketch bins, as a fraction of
+	// the pane's nonzero count (default 0.2 = d/5).
+	ColsFraction float64
+	// MinCols floors the bin count for tiny gradients (default 8).
+	MinCols int
+	// Groups is r, the number of grouped sub-sketches (default 8); the
+	// worst-case decoded index error is Buckets/Groups (Section 3.3).
+	Groups int
+	// Seed selects the hash family shared by encoder and decoder.
+	Seed uint64
+	// Algo selects the quantile sketch implementation: GK (default) or
+	// KLL, the algorithm behind the DataSketches library the paper used.
+	// The choice never affects the wire format — only split quality.
+	Algo quantizer.SketchAlgo
+
+	// Component switches for the Figure 8 ablation. MinMax requires
+	// Quantize.
+	DeltaKeys bool // delta-binary key encoding (the "Key" component)
+	Quantize  bool // quantile-bucket quantification ("Quan")
+	MinMax    bool // MinMaxSketch index compression ("MinMax")
+}
+
+// DefaultOptions returns the paper's default configuration with every
+// component enabled.
+func DefaultOptions() Options {
+	return Options{
+		Buckets:      256,
+		SketchSize:   128,
+		Rows:         2,
+		ColsFraction: 0.2,
+		MinCols:      8,
+		Groups:       8,
+		Seed:         0x5ee7c4b1d2a90f38,
+		DeltaKeys:    true,
+		Quantize:     true,
+		MinMax:       true,
+	}
+}
+
+// SketchML is the paper's compression framework.
+type SketchML struct {
+	opts Options
+}
+
+// NewSketchML validates opts and builds the codec.
+func NewSketchML(opts Options) (*SketchML, error) {
+	if opts.Buckets < 1 || opts.Buckets > 1<<16 {
+		return nil, fmt.Errorf("codec: Buckets %d out of [1, 65536]", opts.Buckets)
+	}
+	if opts.SketchSize < 2 {
+		return nil, fmt.Errorf("codec: SketchSize %d < 2", opts.SketchSize)
+	}
+	if opts.Rows < 1 {
+		return nil, fmt.Errorf("codec: Rows %d < 1", opts.Rows)
+	}
+	if opts.ColsFraction <= 0 || opts.ColsFraction > 1 {
+		return nil, fmt.Errorf("codec: ColsFraction %v out of (0, 1]", opts.ColsFraction)
+	}
+	if opts.MinCols < 1 {
+		opts.MinCols = 1
+	}
+	if opts.Groups < 1 {
+		return nil, fmt.Errorf("codec: Groups %d < 1", opts.Groups)
+	}
+	if opts.MinMax && !opts.Quantize {
+		return nil, errors.New("codec: MinMax requires Quantize")
+	}
+	return &SketchML{opts: opts}, nil
+}
+
+// MustSketchML is NewSketchML that panics on bad options; for tests and
+// example binaries with literal configs.
+func MustSketchML(opts Options) *SketchML {
+	c, err := NewSketchML(opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Options returns the codec's configuration.
+func (c *SketchML) Options() Options { return c.opts }
+
+// Name implements Codec: "SketchML" for the full stack, otherwise the
+// ablation name the paper uses ("Adam+Key", "Adam+Key+Quan", ...).
+func (c *SketchML) Name() string {
+	if c.opts.DeltaKeys && c.opts.Quantize && c.opts.MinMax {
+		return "SketchML"
+	}
+	name := "Adam"
+	if c.opts.DeltaKeys {
+		name += "+Key"
+	}
+	if c.opts.Quantize {
+		name += "+Quan"
+	}
+	if c.opts.MinMax {
+		name += "+MinMax"
+	}
+	return name
+}
+
+const (
+	smFlagDeltaKeys = 1 << 0
+	smFlagQuantize  = 1 << 1
+	smFlagMinMax    = 1 << 2
+	smFlagWideKeys  = 1 << 3
+)
+
+// Encode implements Codec.
+func (c *SketchML) Encode(g *gradient.Sparse) ([]byte, error) {
+	out, _, err := c.encode(g)
+	return out, err
+}
+
+// Analyze implements Analyzer.
+func (c *SketchML) Analyze(g *gradient.Sparse) (Breakdown, error) {
+	_, bd, err := c.encode(g)
+	return bd, err
+}
+
+func (c *SketchML) encode(g *gradient.Sparse) ([]byte, Breakdown, error) {
+	var bd Breakdown
+	if err := g.Validate(); err != nil {
+		return nil, bd, err
+	}
+	wide := wideKeys(g.Dim)
+	var flags byte
+	if c.opts.DeltaKeys {
+		flags |= smFlagDeltaKeys
+	}
+	if c.opts.Quantize {
+		flags |= smFlagQuantize
+	}
+	if c.opts.MinMax {
+		flags |= smFlagMinMax
+	}
+	if wide {
+		flags |= smFlagWideKeys
+	}
+	out := []byte{tagSketchML, flags}
+	out = appendU64(out, g.Dim)
+	out = appendU32(out, uint32(len(g.Keys)))
+	// Rotate the hash seed per message, derived deterministically from the
+	// gradient's content. A static seed would make the same keys collide in
+	// the MinMaxSketch round after round, permanently decaying those
+	// coordinates (and defeating error-feedback wrappers); rotation makes
+	// the decay average out across rounds. The decoder reads the seed from
+	// this header.
+	msgSeed := hashing.Mix64(contentFingerprint(g), c.opts.Seed)
+	out = appendU64(out, msgSeed)
+	bd.Header = len(out)
+
+	if !c.opts.Quantize {
+		// "Adam+Key" ablation: delta keys + raw float64 values.
+		var err error
+		mark := len(out)
+		out, err = c.appendKeys(out, g.Keys, wide)
+		if err != nil {
+			return nil, bd, err
+		}
+		bd.Keys = len(out) - mark
+		mark = len(out)
+		for _, v := range g.Values {
+			out = appendF64(out, v)
+		}
+		bd.Values = len(out) - mark
+		return out, bd, nil
+	}
+
+	out = appendU32(out, uint32(c.opts.Buckets))
+	bd.Header += 4
+
+	// Partition into sign panes, preserving ascending key order.
+	var posKeys, negKeys []uint64
+	var posVals, negMags []float64
+	for i, v := range g.Values {
+		if v >= 0 {
+			posKeys = append(posKeys, g.Keys[i])
+			posVals = append(posVals, v)
+		} else {
+			negKeys = append(negKeys, g.Keys[i])
+			negMags = append(negMags, -v)
+		}
+	}
+	var err error
+	out, err = c.encodePane(out, &bd, msgSeed, g.Dim, posKeys, posVals, 0, wide)
+	if err != nil {
+		return nil, bd, err
+	}
+	out, err = c.encodePane(out, &bd, msgSeed, g.Dim, negKeys, negMags, 1, wide)
+	if err != nil {
+		return nil, bd, err
+	}
+	return out, bd, nil
+}
+
+// contentFingerprint hashes a gradient's shape and a sample of its content
+// into a per-message value for hash-seed rotation. It is deterministic for
+// identical gradients.
+func contentFingerprint(g *gradient.Sparse) uint64 {
+	h := uint64(len(g.Keys))
+	if n := len(g.Keys); n > 0 {
+		h = hashing.Mix64(h, g.Keys[0])
+		h = hashing.Mix64(h, g.Keys[n-1])
+		h = hashing.Mix64(h, math.Float64bits(g.Values[0]))
+		h = hashing.Mix64(h, math.Float64bits(g.Values[n-1]))
+		h = hashing.Mix64(h, math.Float64bits(g.Values[n/2]))
+	}
+	return h
+}
+
+// encodePane serializes one sign pane. vals are magnitudes for the negative
+// pane. paneID feeds the hash seed derivation.
+func (c *SketchML) encodePane(out []byte, bd *Breakdown, msgSeed uint64, dim uint64, keys []uint64, vals []float64, paneID uint64, wide bool) ([]byte, error) {
+	out = appendU32(out, uint32(len(keys)))
+	bd.Header += 4
+	if len(keys) == 0 {
+		return out, nil
+	}
+	// Adapt the bucket count to the pane size: the q-entry means table costs
+	// 8q bytes per pane, which only amortizes when d >> q (the paper's
+	// regime). For small gradients, cap q at d/16 so the table stays a small
+	// fraction of the message.
+	qEff := c.opts.Buckets
+	if cap := len(keys) / 16; cap < qEff {
+		qEff = cap
+	}
+	if qEff < 2 {
+		qEff = 2
+	}
+	z, err := quantizer.BuildQuantileAlgo(vals, qEff, c.opts.SketchSize, c.opts.Algo, int64(c.opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	means := z.Means()
+	mark := len(out)
+	out = appendU32(out, uint32(len(means)))
+	for _, m := range means {
+		out = appendF64(out, m)
+	}
+	bd.Meta += len(out) - mark
+
+	if !c.opts.MinMax {
+		// Explicit bit-packed index array aligned with the pane key list.
+		mark = len(out)
+		out, err = c.appendKeys(out, keys, wide)
+		if err != nil {
+			return nil, err
+		}
+		bd.Keys += len(out) - mark
+		mark = len(out)
+		idx := make([]uint32, len(keys))
+		for i, v := range vals {
+			idx[i] = uint32(z.Bucket(v))
+		}
+		out = bitpack.AppendBlock(out, idx, bitpack.BitsFor(len(means)))
+		bd.Values += len(out) - mark
+		return out, nil
+	}
+
+	// MinMaxSketch path: grouped sketch + per-group key lists.
+	cols := int(c.opts.ColsFraction * float64(len(keys)))
+	if cols < c.opts.MinCols {
+		cols = c.opts.MinCols
+	}
+	// Adapt the group count to the key density: splitting keys into r group
+	// lists multiplies the expected delta gap by r (Appendix A.3's
+	// bytes/key = ⌈log2(rD/d)/8⌉), so grouping only pays when r·D/d keeps
+	// per-group deltas at one byte. Cap r so the expected group gap stays
+	// below 256.
+	groups := c.opts.Groups
+	if fdim := float64(dim); fdim > 0 {
+		if maxR := int(255 * float64(len(keys)) / fdim); maxR < groups {
+			groups = maxR
+		}
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	paneSeed := hashing.Mix64(paneID, msgSeed)
+	grouped := minmax.NewGrouped(c.opts.Rows, cols, len(means), groups, paneSeed)
+	groupKeys := make([][]uint64, grouped.NumGroups())
+	for i, k := range keys {
+		grp := grouped.Insert(k, z.Bucket(vals[i]))
+		groupKeys[grp] = append(groupKeys[grp], k) // stays ascending
+	}
+	mark = len(out)
+	out, err = grouped.AppendBinary(out)
+	if err != nil {
+		return nil, err
+	}
+	bd.Values += len(out) - mark
+	mark = len(out)
+	for _, gk := range groupKeys {
+		out, err = c.appendKeys(out, gk, wide)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bd.Keys += len(out) - mark
+	return out, nil
+}
+
+// appendKeys writes a key list with the configured key codec.
+func (c *SketchML) appendKeys(out []byte, keys []uint64, wide bool) ([]byte, error) {
+	if c.opts.DeltaKeys {
+		return keycoding.AppendDelta(out, keys)
+	}
+	out = appendU32(out, uint32(len(keys)))
+	for _, k := range keys {
+		if wide {
+			out = appendU64(out, k)
+		} else {
+			out = appendU32(out, uint32(k))
+		}
+	}
+	return out, nil
+}
+
+// decodeKeys reads a key list written by appendKeys.
+func decodeKeys(r *reader, delta, wide bool) ([]uint64, error) {
+	if delta {
+		keys, used, err := keycoding.DecodeDelta(r.rest())
+		if err != nil {
+			return nil, err
+		}
+		if err := r.advance(used); err != nil {
+			return nil, err
+		}
+		return keys, nil
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	kb := 4
+	if wide {
+		kb = 8
+	}
+	if int64(r.remain()) < int64(count)*int64(kb) {
+		return nil, errTruncated
+	}
+	keys := make([]uint64, count)
+	for i := range keys {
+		if wide {
+			keys[i], err = r.u64()
+		} else {
+			var k32 uint32
+			k32, err = r.u32()
+			keys[i] = uint64(k32)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return keys, nil
+}
+
+// Decode implements Codec.
+func (c *SketchML) Decode(data []byte) (*gradient.Sparse, error) {
+	r := &reader{data: data}
+	if err := checkTag(r, tagSketchML); err != nil {
+		return nil, err
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	delta := flags&smFlagDeltaKeys != 0
+	quant := flags&smFlagQuantize != 0
+	mm := flags&smFlagMinMax != 0
+	wide := flags&smFlagWideKeys != 0
+	dim, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+
+	if !quant {
+		keys, err := decodeKeys(r, delta, wide)
+		if err != nil {
+			return nil, err
+		}
+		if uint32(len(keys)) != count {
+			return nil, fmt.Errorf("codec: key count %d, header says %d", len(keys), count)
+		}
+		g := gradient.NewSparse(dim, len(keys))
+		g.Keys = keys
+		g.Values = make([]float64, len(keys))
+		for i := range g.Values {
+			if g.Values[i], err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("codec: corrupt message: %w", err)
+		}
+		return g, nil
+	}
+
+	if _, err := r.u32(); err != nil { // configured bucket count (informational)
+		return nil, err
+	}
+	var lists [][]uint64
+	var vlists [][]float64
+	for paneID := uint64(0); paneID < 2; paneID++ {
+		pk, pv, err := decodePane(r, delta, mm, wide, paneID, seed)
+		if err != nil {
+			return nil, fmt.Errorf("codec: pane %d: %w", paneID, err)
+		}
+		if paneID == 1 {
+			for _, list := range pv {
+				for i := range list {
+					list[i] = -list[i]
+				}
+			}
+		}
+		lists = append(lists, pk...)
+		vlists = append(vlists, pv...)
+	}
+	g, err := mergeSortedLists(dim, lists, vlists)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(g.Keys)) != count {
+		return nil, fmt.Errorf("codec: decoded %d entries, header says %d", len(g.Keys), count)
+	}
+	return g, nil
+}
+
+// decodePane parses one sign pane, returning per-group ascending key lists
+// and their decoded magnitude lists.
+func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64) ([][]uint64, [][]float64, error) {
+	paneCount, err := r.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if paneCount == 0 {
+		return nil, nil, nil
+	}
+	nMeans, err := r.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if nMeans == 0 || nMeans > 1<<16 {
+		return nil, nil, fmt.Errorf("implausible means count %d", nMeans)
+	}
+	means := make([]float64, nMeans)
+	for i := range means {
+		if means[i], err = r.f64(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if !mm {
+		keys, err := decodeKeys(r, delta, wide)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, used, err := bitpack.DecodeBlock(r.rest())
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := r.advance(used); err != nil {
+			return nil, nil, err
+		}
+		if len(idx) != len(keys) {
+			return nil, nil, fmt.Errorf("%d indexes for %d keys", len(idx), len(keys))
+		}
+		vals := make([]float64, len(keys))
+		for i, id := range idx {
+			if int(id) >= len(means) {
+				return nil, nil, fmt.Errorf("index %d out of %d buckets", id, len(means))
+			}
+			vals[i] = means[id]
+		}
+		return [][]uint64{keys}, [][]float64{vals}, nil
+	}
+
+	paneSeed := hashing.Mix64(paneID, seed)
+	grouped, used, err := minmax.DecodeGrouped(r.rest(), paneSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.advance(used); err != nil {
+		return nil, nil, err
+	}
+	keyLists := make([][]uint64, grouped.NumGroups())
+	valLists := make([][]float64, grouped.NumGroups())
+	for grp := 0; grp < grouped.NumGroups(); grp++ {
+		keys, err := decodeKeys(r, delta, wide)
+		if err != nil {
+			return nil, nil, fmt.Errorf("group %d keys: %w", grp, err)
+		}
+		vals := make([]float64, len(keys))
+		for i, k := range keys {
+			b, ok := grouped.Query(grp, k)
+			if !ok {
+				return nil, nil, fmt.Errorf("group %d: key %d missing from sketch", grp, k)
+			}
+			if b >= len(means) {
+				b = len(means) - 1
+			}
+			vals[i] = means[b]
+		}
+		keyLists[grp] = keys
+		valLists[grp] = vals
+	}
+	return keyLists, valLists, nil
+}
+
+// mergeSortedLists k-way-merges disjoint ascending key lists (with parallel
+// value lists) into one sparse gradient.
+func mergeSortedLists(dim uint64, keyLists [][]uint64, valLists [][]float64) (*gradient.Sparse, error) {
+	total := 0
+	for _, l := range keyLists {
+		total += len(l)
+	}
+	g := gradient.NewSparse(dim, total)
+	pos := make([]int, len(keyLists))
+	for {
+		best := -1
+		var bestKey uint64 = math.MaxUint64
+		for i, l := range keyLists {
+			if pos[i] < len(l) && l[pos[i]] <= bestKey {
+				if l[pos[i]] == bestKey && best >= 0 {
+					return nil, fmt.Errorf("codec: duplicate key %d across lists", bestKey)
+				}
+				best = i
+				bestKey = l[pos[i]]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		g.Keys = append(g.Keys, bestKey)
+		g.Values = append(g.Values, valLists[best][pos[best]])
+		pos[best]++
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: merged gradient invalid: %w", err)
+	}
+	return g, nil
+}

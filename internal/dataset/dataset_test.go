@@ -1,0 +1,366 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestInstanceDotAndValidate(t *testing.T) {
+	in := Instance{Keys: []uint64{1, 3}, Values: []float64{2, -1}, Label: 1}
+	theta := []float64{9, 0.5, 9, 2}
+	if got := in.Dot(theta); got != 2*0.5+(-1)*2 {
+		t.Errorf("Dot = %v", got)
+	}
+	if err := in.Validate(4); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	if err := in.Validate(3); err == nil {
+		t.Error("key >= dim accepted")
+	}
+	bad := Instance{Keys: []uint64{3, 1}, Values: []float64{1, 1}}
+	if err := bad.Validate(10); err == nil {
+		t.Error("descending keys accepted")
+	}
+	bad = Instance{Keys: []uint64{1}, Values: []float64{1, 2}}
+	if err := bad.Validate(10); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{N: 100, Dim: 1000, AvgNNZ: 10, Seed: 42, Task: Classification}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 100 || b.N() != 100 {
+		t.Fatal("wrong N")
+	}
+	for i := range a.Instances {
+		x, y := a.Instances[i], b.Instances[i]
+		if x.Label != y.Label || len(x.Keys) != len(y.Keys) {
+			t.Fatalf("instance %d differs between identical configs", i)
+		}
+		for j := range x.Keys {
+			if x.Keys[j] != y.Keys[j] || x.Values[j] != y.Values[j] {
+				t.Fatalf("instance %d feature %d differs", i, j)
+			}
+		}
+	}
+	c, err := Generate(SyntheticConfig{N: 100, Dim: 1000, AvgNNZ: 10, Seed: 43, Task: Classification})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Instances {
+		if a.Instances[i].Label == c.Instances[i].Label {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical labels")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	d, err := Generate(SyntheticConfig{N: 500, Dim: 5000, AvgNNZ: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := d.AvgNNZ()
+	if avg < 10 || avg > 30 {
+		t.Errorf("AvgNNZ = %.1f, want near 20", avg)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, cfg := range []SyntheticConfig{
+		{N: 0, Dim: 10, AvgNNZ: 2},
+		{N: 10, Dim: 0, AvgNNZ: 2},
+		{N: 10, Dim: 10, AvgNNZ: 0},
+	} {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	// Feature popularity must be heavy-tailed: the most common feature
+	// should appear far more often than the median feature.
+	d, err := Generate(SyntheticConfig{N: 2000, Dim: 10000, AvgNNZ: 20, ZipfS: 1.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for i := range d.Instances {
+		for _, k := range d.Instances[i].Keys {
+			counts[k]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	distinct := len(counts)
+	totalSlots := 0
+	for i := range d.Instances {
+		totalSlots += d.Instances[i].NNZ()
+	}
+	avg := float64(totalSlots) / float64(distinct)
+	if float64(max) < 20*avg {
+		t.Errorf("max feature count %d vs avg %.1f — not heavy-tailed", max, avg)
+	}
+}
+
+func TestClassificationLabelsAreSigns(t *testing.T) {
+	d, err := Generate(SyntheticConfig{N: 300, Dim: 1000, AvgNNZ: 10, Task: Classification, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := 0, 0
+	for i := range d.Instances {
+		switch d.Instances[i].Label {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			t.Fatalf("label %v not in {-1, +1}", d.Instances[i].Label)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Errorf("degenerate label distribution: %d pos, %d neg", pos, neg)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d, _ := Generate(SyntheticConfig{N: 1000, Dim: 500, AvgNNZ: 5, Seed: 9})
+	train, test := d.Split(0.75, 1)
+	if train.N() != 750 || test.N() != 250 {
+		t.Fatalf("split sizes %d/%d", train.N(), test.N())
+	}
+	// Same seed, same split.
+	tr2, _ := d.Split(0.75, 1)
+	if tr2.Instances[0].Label != train.Instances[0].Label {
+		t.Error("split not deterministic")
+	}
+	// Clamped fractions.
+	tr3, te3 := d.Split(2.0, 1)
+	if tr3.N() != 1000 || te3.N() != 0 {
+		t.Error("fraction clamp broken")
+	}
+}
+
+func TestShard(t *testing.T) {
+	d, _ := Generate(SyntheticConfig{N: 10, Dim: 100, AvgNNZ: 3, Seed: 2})
+	shards := d.Shard(3)
+	if len(shards) != 3 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.N()
+		if s.Dim != d.Dim {
+			t.Error("shard lost Dim")
+		}
+	}
+	if total != 10 {
+		t.Errorf("shards hold %d instances", total)
+	}
+	if n0, n2 := shards[0].N(), shards[2].N(); n0 < n2 {
+		t.Errorf("round robin imbalance: %d < %d", n0, n2)
+	}
+	if s := d.Shard(0); len(s) != 1 {
+		t.Error("Shard(0) should clamp to 1")
+	}
+}
+
+func TestBatcherCoversEpochExactly(t *testing.T) {
+	d, _ := Generate(SyntheticConfig{N: 103, Dim: 100, AvgNNZ: 3, Seed: 4})
+	b := NewBatcher(d, 10, 7)
+	if b.BatchesPerEpoch() != 11 {
+		t.Fatalf("BatchesPerEpoch = %d, want 11", b.BatchesPerEpoch())
+	}
+	var buf []*Instance
+	seen := 0
+	for i := 0; i < 11; i++ {
+		buf = b.Next(buf)
+		seen += len(buf)
+		if i < 10 && len(buf) != 10 {
+			t.Fatalf("batch %d has %d instances", i, len(buf))
+		}
+	}
+	if seen != 103 {
+		t.Errorf("epoch covered %d instances, want 103", seen)
+	}
+	if b.Epoch() != 1 {
+		t.Errorf("Epoch = %d, want 1", b.Epoch())
+	}
+}
+
+func TestBatcherNoEpochMixing(t *testing.T) {
+	d, _ := Generate(SyntheticConfig{N: 15, Dim: 100, AvgNNZ: 3, Seed: 4})
+	b := NewBatcher(d, 10, 7)
+	first := b.Next(nil)
+	second := b.Next(nil)
+	if len(first) != 10 || len(second) != 5 {
+		t.Fatalf("batches %d/%d, want 10/5", len(first), len(second))
+	}
+}
+
+func TestBatcherClampsBatchSize(t *testing.T) {
+	d, _ := Generate(SyntheticConfig{N: 5, Dim: 100, AvgNNZ: 3, Seed: 4})
+	b := NewBatcher(d, 100, 1)
+	if b.BatchSize() != 5 {
+		t.Errorf("BatchSize = %d, want 5", b.BatchSize())
+	}
+	b = NewBatcher(d, 0, 1)
+	if b.BatchSize() != 1 {
+		t.Errorf("BatchSize = %d, want 1", b.BatchSize())
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	for name, d := range map[string]*Dataset{
+		"kdd10": KDD10Like(1),
+		"kdd12": KDD12Like(1),
+		"ctr":   CTRLike(1),
+	} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if d.N() == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+	// CTR must be denser than KDD12 (drives the Section 4.3.2 contrast).
+	ctr, kdd12 := CTRLike(1), KDD12Like(1)
+	ctrDensity := ctr.AvgNNZ() / float64(ctr.Dim)
+	kddDensity := kdd12.AvgNNZ() / float64(kdd12.Dim)
+	if ctrDensity <= kddDensity {
+		t.Errorf("CTR density %.2e should exceed KDD12 %.2e", ctrDensity, kddDensity)
+	}
+}
+
+func TestMNISTLike(t *testing.T) {
+	d := MNISTLike(1, 200, 20)
+	if d.Dim != 400 {
+		t.Fatalf("Dim = %d, want 400", d.Dim)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	classes := map[float64]int{}
+	for i := range d.Instances {
+		l := d.Instances[i].Label
+		if l != math.Trunc(l) || l < 0 || l > 9 {
+			t.Fatalf("label %v not a class index", l)
+		}
+		classes[l]++
+		if d.Instances[i].NNZ() != 400 {
+			t.Fatal("MNIST-like instances should be dense")
+		}
+	}
+	if len(classes) < 8 {
+		t.Errorf("only %d classes represented", len(classes))
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	d, _ := Generate(SyntheticConfig{N: 50, Dim: 300, AvgNNZ: 8, Seed: 11})
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLibSVM(&buf, d.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() {
+		t.Fatalf("N = %d, want %d", got.N(), d.N())
+	}
+	for i := range d.Instances {
+		a, b := d.Instances[i], got.Instances[i]
+		if a.Label != b.Label || len(a.Keys) != len(b.Keys) {
+			t.Fatalf("instance %d differs", i)
+		}
+		for j := range a.Keys {
+			if a.Keys[j] != b.Keys[j] || math.Abs(a.Values[j]-b.Values[j]) > 1e-9 {
+				t.Fatalf("instance %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLibSVMParse(t *testing.T) {
+	input := `+1 1:0.5 3:1.5
+-1 2:2
+
+# comment line
+0.25 1:1 4:-0.125
+`
+	d, err := ParseLibSVM(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 {
+		t.Fatalf("N = %d, want 3", d.N())
+	}
+	if d.Dim != 4 {
+		t.Errorf("auto Dim = %d, want 4", d.Dim)
+	}
+	if d.Instances[0].Label != 1 || d.Instances[0].Keys[0] != 0 {
+		t.Error("first instance parsed wrong")
+	}
+	if d.Instances[2].Values[1] != -0.125 {
+		t.Error("negative value parsed wrong")
+	}
+}
+
+func TestLibSVMParseErrors(t *testing.T) {
+	cases := []string{
+		"abc 1:1",   // bad label
+		"1 0:1",     // index 0 (must be 1-based)
+		"1 x:1",     // bad index
+		"1 2:x",     // bad value
+		"1 3:1 2:1", // not ascending
+	}
+	for _, c := range cases {
+		if _, err := ParseLibSVM(strings.NewReader(c), 0); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+	if _, err := ParseLibSVM(strings.NewReader("1 5:1"), 3); err == nil {
+		t.Error("index beyond enforced dim accepted")
+	}
+}
+
+func TestLibSVMSkipsZeroValues(t *testing.T) {
+	d, err := ParseLibSVM(strings.NewReader("1 1:0 2:5"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Instances[0].NNZ() != 1 {
+		t.Errorf("zero-valued feature kept: nnz=%d", d.Instances[0].NNZ())
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(SyntheticConfig{N: 1000, Dim: 50000, AvgNNZ: 30, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

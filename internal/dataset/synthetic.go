@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Task selects what kind of labels a synthetic dataset carries.
+type Task int
+
+// Supported synthetic tasks.
+const (
+	// Classification yields ±1 labels from a noisy linear separator (for
+	// Logistic Regression and SVM).
+	Classification Task = iota
+	// Regression yields real-valued labels from a noisy linear model.
+	Regression
+)
+
+// SyntheticConfig describes a synthetic sparse dataset. The generator draws
+// feature indexes from a Zipf power law, which reproduces the defining
+// property of KDD10/KDD12/CTR-style web data: a few extremely common
+// features, a long tail of rare ones, and therefore sparse, nonuniform
+// gradients (the Figure 4 shape).
+type SyntheticConfig struct {
+	N          int     // number of instances
+	Dim        uint64  // feature-space dimension (the paper's D)
+	AvgNNZ     int     // mean active features per instance
+	ZipfS      float64 // Zipf exponent (>1); larger = more skew
+	Task       Task    // label model
+	NoiseStd   float64 // label noise (pre-threshold for classification)
+	WeightNNZ  int     // nonzeros in the ground-truth weight vector (0 = Dim/10)
+	BinaryVals bool    // feature values fixed to 1 (CTR-style one-hot) vs normal
+	Seed       int64
+}
+
+// Generate materializes the synthetic dataset described by cfg.
+// Generation is deterministic given cfg.
+func Generate(cfg SyntheticConfig) (*Dataset, error) {
+	if cfg.N <= 0 || cfg.Dim == 0 || cfg.AvgNNZ <= 0 {
+		return nil, fmt.Errorf("dataset: invalid config N=%d Dim=%d AvgNNZ=%d",
+			cfg.N, cfg.Dim, cfg.AvgNNZ)
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, cfg.Dim-1)
+
+	// Ground-truth sparse weight vector.
+	wNNZ := cfg.WeightNNZ
+	if wNNZ <= 0 {
+		wNNZ = int(cfg.Dim / 10)
+		if wNNZ < 1 {
+			wNNZ = 1
+		}
+	}
+	truth := map[uint64]float64{}
+	for len(truth) < wNNZ && uint64(len(truth)) < cfg.Dim {
+		truth[zipf.Uint64()] = rng.NormFloat64()
+	}
+
+	d := &Dataset{Dim: cfg.Dim, Instances: make([]Instance, cfg.N)}
+	seen := map[uint64]bool{}
+	for i := 0; i < cfg.N; i++ {
+		// Per-instance nonzero count: Poisson-ish around AvgNNZ via a
+		// geometric mixture, at least 1.
+		nnz := 1 + rng.Intn(2*cfg.AvgNNZ-1)
+		for k := range seen {
+			delete(seen, k)
+		}
+		keys := make([]uint64, 0, nnz)
+		for len(keys) < nnz {
+			k := zipf.Uint64()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		vals := make([]float64, len(keys))
+		var margin float64
+		for j, k := range keys {
+			v := 1.0
+			if !cfg.BinaryVals {
+				v = rng.NormFloat64()
+			}
+			vals[j] = v
+			margin += truth[k] * v
+		}
+		margin += rng.NormFloat64() * cfg.NoiseStd
+		label := margin
+		if cfg.Task == Classification {
+			if margin >= 0 {
+				label = 1
+			} else {
+				label = -1
+			}
+		}
+		d.Instances[i] = Instance{Keys: keys, Values: vals, Label: label}
+	}
+	return d, nil
+}
+
+// The named presets below are laptop-scale stand-ins for the paper's
+// datasets (Table 1), preserving each dataset's relative character:
+// KDD10 is the small/sparse lab dataset, KDD12 is larger and sparser,
+// CTR is the densest (smaller D/d ratio, so compression gains shrink —
+// Section 4.3.2).
+
+// KDD10Like returns a KDD CUP 2010-like classification dataset.
+func KDD10Like(seed int64) *Dataset {
+	d, err := Generate(SyntheticConfig{
+		N: 4000, Dim: 25000, AvgNNZ: 30, ZipfS: 1.3,
+		Task: Classification, NoiseStd: 0.5, BinaryVals: true, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// KDD12Like returns a KDD CUP 2012-like classification dataset: larger and
+// sparser than KDD10Like.
+func KDD12Like(seed int64) *Dataset {
+	d, err := Generate(SyntheticConfig{
+		N: 8000, Dim: 50000, AvgNNZ: 25, ZipfS: 1.25,
+		Task: Classification, NoiseStd: 0.5, BinaryVals: true, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// CTRLike returns a Tencent-CTR-like dataset: denser instances over a
+// comparatively smaller feature space, where the paper's speedups shrink.
+func CTRLike(seed int64) *Dataset {
+	d, err := Generate(SyntheticConfig{
+		N: 6000, Dim: 15000, AvgNNZ: 80, ZipfS: 1.2,
+		Task: Classification, NoiseStd: 0.8, BinaryVals: true, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// RegressionLike returns a sparse regression dataset for the Linear model.
+func RegressionLike(seed int64, n int, dim uint64) *Dataset {
+	d, err := Generate(SyntheticConfig{
+		N: n, Dim: dim, AvgNNZ: 30, ZipfS: 1.3,
+		Task: Regression, NoiseStd: 0.1, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MNISTLike generates a dense 10-class digit-like image dataset of
+// side×side images (the paper's Appendix B.3 uses 20×20 MNIST crops).
+// Each class has a random smooth prototype; instances are the prototype
+// plus pixel noise. Labels are class indexes 0..9.
+func MNISTLike(seed int64, n, side int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	dim := side * side
+	const classes = 10
+	// All classes share a common "stroke" background so they overlap like
+	// real digits; each class adds only a couple of small distinguishing
+	// bumps. Without the shared base the task is trivially separable and
+	// every training curve flattens immediately.
+	addBumps := func(p []float64, n int, amp float64) {
+		for b := 0; b < n; b++ {
+			cx, cy := rng.Float64()*float64(side), rng.Float64()*float64(side)
+			a := amp * (0.5 + rng.Float64())
+			sigma := 1.5 + rng.Float64()*2
+			for y := 0; y < side; y++ {
+				for x := 0; x < side; x++ {
+					dx, dy := float64(x)-cx, float64(y)-cy
+					p[y*side+x] += a * math.Exp(-(dx*dx+dy*dy)/(2*sigma*sigma))
+				}
+			}
+		}
+	}
+	base := make([]float64, dim)
+	addBumps(base, 4, 1.0)
+	protos := make([][]float64, classes)
+	for c := range protos {
+		p := append([]float64(nil), base...)
+		addBumps(p, 2, 0.6)
+		protos[c] = p
+	}
+	d := &Dataset{Dim: uint64(dim), Instances: make([]Instance, n)}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(classes)
+		keys := make([]uint64, dim)
+		vals := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			keys[j] = uint64(j)
+			vals[j] = protos[c][j] + rng.NormFloat64()*0.5
+		}
+		d.Instances[i] = Instance{Keys: keys, Values: vals, Label: float64(c)}
+	}
+	return d
+}

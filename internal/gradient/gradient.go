@@ -1,0 +1,239 @@
+// Package gradient provides the sparse and dense gradient vector types that
+// flow through SketchML: a sparse gradient is the list of (key, value)
+// pairs for the nonzero dimensions of a model update, kept sorted by key so
+// that delta-binary key encoding applies.
+package gradient
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is a sparse gradient vector over a model of Dim dimensions,
+// stored as parallel key/value slices with Keys strictly ascending.
+type Sparse struct {
+	Dim    uint64
+	Keys   []uint64
+	Values []float64
+}
+
+// NewSparse creates an empty sparse gradient with capacity hint n.
+func NewSparse(dim uint64, n int) *Sparse {
+	return &Sparse{
+		Dim:    dim,
+		Keys:   make([]uint64, 0, n),
+		Values: make([]float64, 0, n),
+	}
+}
+
+// NNZ returns the number of nonzero entries (the paper's d).
+func (g *Sparse) NNZ() int { return len(g.Keys) }
+
+// Sparsity returns d/D, the fraction of dimensions that are nonzero.
+func (g *Sparse) Sparsity() float64 {
+	if g.Dim == 0 {
+		return 0
+	}
+	return float64(len(g.Keys)) / float64(g.Dim)
+}
+
+// Validate checks the structural invariants: equal-length slices, strictly
+// ascending keys, keys < Dim, finite values.
+func (g *Sparse) Validate() error {
+	if len(g.Keys) != len(g.Values) {
+		return fmt.Errorf("gradient: %d keys but %d values", len(g.Keys), len(g.Values))
+	}
+	for i, k := range g.Keys {
+		if k >= g.Dim {
+			return fmt.Errorf("gradient: key %d >= dim %d", k, g.Dim)
+		}
+		if i > 0 && k <= g.Keys[i-1] {
+			return fmt.Errorf("gradient: keys not strictly ascending at %d", i)
+		}
+		if math.IsNaN(g.Values[i]) || math.IsInf(g.Values[i], 0) {
+			return fmt.Errorf("gradient: non-finite value at key %d", k)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (g *Sparse) Clone() *Sparse {
+	return &Sparse{
+		Dim:    g.Dim,
+		Keys:   append([]uint64(nil), g.Keys...),
+		Values: append([]float64(nil), g.Values...),
+	}
+}
+
+// Scale multiplies every value by a.
+func (g *Sparse) Scale(a float64) {
+	for i := range g.Values {
+		g.Values[i] *= a
+	}
+}
+
+// L2Norm returns the Euclidean norm of the gradient.
+func (g *Sparse) L2Norm() float64 {
+	var s float64
+	for _, v := range g.Values {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute value, or 0 if empty.
+func (g *Sparse) MaxAbs() float64 {
+	var m float64
+	for _, v := range g.Values {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Get returns the value at key k (0 if absent) using binary search.
+func (g *Sparse) Get(k uint64) float64 {
+	i := sort.Search(len(g.Keys), func(i int) bool { return g.Keys[i] >= k })
+	if i < len(g.Keys) && g.Keys[i] == k {
+		return g.Values[i]
+	}
+	return 0
+}
+
+// Append adds an entry; the key must exceed the current last key.
+func (g *Sparse) Append(k uint64, v float64) {
+	if n := len(g.Keys); n > 0 && k <= g.Keys[n-1] {
+		panic(fmt.Sprintf("gradient: Append key %d not ascending (last %d)", k, g.Keys[n-1]))
+	}
+	g.Keys = append(g.Keys, k)
+	g.Values = append(g.Values, v)
+}
+
+// Reset empties the gradient, retaining capacity.
+func (g *Sparse) Reset() {
+	g.Keys = g.Keys[:0]
+	g.Values = g.Values[:0]
+}
+
+// ToDense materializes the gradient as a dense vector of length Dim.
+func (g *Sparse) ToDense() []float64 {
+	out := make([]float64, g.Dim)
+	for i, k := range g.Keys {
+		out[k] = g.Values[i]
+	}
+	return out
+}
+
+// FromDense builds a sparse gradient from a dense vector, keeping entries
+// with |v| > threshold (pass 0 to keep all nonzeros).
+func FromDense(dense []float64, threshold float64) *Sparse {
+	g := NewSparse(uint64(len(dense)), 0)
+	for k, v := range dense {
+		if math.Abs(v) > threshold {
+			g.Append(uint64(k), v)
+		}
+	}
+	return g
+}
+
+// FromMap builds a sparse gradient from an unordered key→value map.
+func FromMap(dim uint64, m map[uint64]float64) *Sparse {
+	g := NewSparse(dim, len(m))
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if v := m[k]; v != 0 {
+			g.Append(k, v)
+		}
+	}
+	return g
+}
+
+// RawSizeBytes returns the uncompressed wire size of the gradient as the
+// paper accounts it: an 8-byte float value plus a 4-byte int key per
+// nonzero entry (12d bytes; Section 3.5), or 8-byte keys if wide is true.
+func (g *Sparse) RawSizeBytes(wideKeys bool) int {
+	kb := 4
+	if wideKeys {
+		kb = 8
+	}
+	return len(g.Keys) * (8 + kb)
+}
+
+// Accumulator aggregates sparse gradients from many workers into a dense
+// buffer, then re-sparsifies. This is what the paper's driver does when it
+// gathers {g_w} from W executors.
+type Accumulator struct {
+	dim   uint64
+	dense []float64
+	dirty []uint64 // keys touched since reset, unsorted, may repeat
+}
+
+// NewAccumulator creates an accumulator over dim dimensions.
+func NewAccumulator(dim uint64) *Accumulator {
+	return &Accumulator{dim: dim, dense: make([]float64, dim)}
+}
+
+// Add accumulates g scaled by weight.
+func (a *Accumulator) Add(g *Sparse, weight float64) error {
+	if g.Dim != a.dim {
+		return fmt.Errorf("gradient: accumulator dim %d, gradient dim %d", a.dim, g.Dim)
+	}
+	for i, k := range g.Keys {
+		if a.dense[k] == 0 {
+			a.dirty = append(a.dirty, k)
+		}
+		a.dense[k] += g.Values[i] * weight
+	}
+	return nil
+}
+
+// Sum returns the accumulated gradient as a new sparse vector and resets
+// the accumulator.
+func (a *Accumulator) Sum() *Sparse {
+	sort.Slice(a.dirty, func(i, j int) bool { return a.dirty[i] < a.dirty[j] })
+	g := NewSparse(a.dim, len(a.dirty))
+	var prev uint64
+	first := true
+	for _, k := range a.dirty {
+		if !first && k == prev {
+			continue
+		}
+		if v := a.dense[k]; v != 0 {
+			g.Append(k, v)
+		}
+		a.dense[k] = 0
+		prev, first = k, false
+	}
+	a.dirty = a.dirty[:0]
+	return g
+}
+
+// SquaredDistance returns ||a - b||² over the union of both supports.
+// Used by the variance-bound property tests (Theorem A.2).
+func SquaredDistance(a, b *Sparse) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Keys) || j < len(b.Keys) {
+		switch {
+		case j >= len(b.Keys) || (i < len(a.Keys) && a.Keys[i] < b.Keys[j]):
+			s += a.Values[i] * a.Values[i]
+			i++
+		case i >= len(a.Keys) || b.Keys[j] < a.Keys[i]:
+			s += b.Values[j] * b.Values[j]
+			j++
+		default:
+			d := a.Values[i] - b.Values[j]
+			s += d * d
+			i++
+			j++
+		}
+	}
+	return s
+}

@@ -1,0 +1,259 @@
+package gradient
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Sparse {
+	g := NewSparse(100, 4)
+	g.Append(3, -0.5)
+	g.Append(10, 1.25)
+	g.Append(42, 0.01)
+	return g
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := sample()
+	if g.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", g.NNZ())
+	}
+	if got := g.Sparsity(); got != 0.03 {
+		t.Errorf("Sparsity = %v, want 0.03", got)
+	}
+	if got := g.Get(10); got != 1.25 {
+		t.Errorf("Get(10) = %v", got)
+	}
+	if got := g.Get(11); got != 0 {
+		t.Errorf("Get(11) = %v, want 0", got)
+	}
+	if got := g.MaxAbs(); got != 1.25 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	want := math.Sqrt(0.25 + 1.25*1.25 + 0.0001)
+	if got := g.L2Norm(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("L2Norm = %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := sample()
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid gradient rejected: %v", err)
+	}
+	bad := &Sparse{Dim: 10, Keys: []uint64{1, 1}, Values: []float64{1, 2}}
+	if bad.Validate() == nil {
+		t.Error("duplicate keys accepted")
+	}
+	bad = &Sparse{Dim: 10, Keys: []uint64{5, 3}, Values: []float64{1, 2}}
+	if bad.Validate() == nil {
+		t.Error("descending keys accepted")
+	}
+	bad = &Sparse{Dim: 10, Keys: []uint64{10}, Values: []float64{1}}
+	if bad.Validate() == nil {
+		t.Error("key >= dim accepted")
+	}
+	bad = &Sparse{Dim: 10, Keys: []uint64{1}, Values: []float64{math.NaN()}}
+	if bad.Validate() == nil {
+		t.Error("NaN value accepted")
+	}
+	bad = &Sparse{Dim: 10, Keys: []uint64{1, 2}, Values: []float64{1}}
+	if bad.Validate() == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := sample()
+	c := g.Clone()
+	c.Values[0] = 99
+	c.Keys[0] = 0
+	if g.Values[0] == 99 || g.Keys[0] == 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestScale(t *testing.T) {
+	g := sample()
+	g.Scale(-2)
+	if g.Values[0] != 1.0 || g.Values[1] != -2.5 {
+		t.Errorf("Scale wrong: %v", g.Values)
+	}
+}
+
+func TestAppendPanicsOnDisorder(t *testing.T) {
+	g := sample()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.Append(42, 1)
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	g := sample()
+	d := g.ToDense()
+	if len(d) != 100 {
+		t.Fatalf("dense len %d", len(d))
+	}
+	back := FromDense(d, 0)
+	if back.NNZ() != g.NNZ() {
+		t.Fatalf("NNZ %d, want %d", back.NNZ(), g.NNZ())
+	}
+	for i := range g.Keys {
+		if back.Keys[i] != g.Keys[i] || back.Values[i] != g.Values[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestFromDenseThreshold(t *testing.T) {
+	d := []float64{0, 0.001, -0.5, 0.3}
+	g := FromDense(d, 0.1)
+	if g.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 (threshold should drop 0.001)", g.NNZ())
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	g := FromMap(50, map[uint64]float64{7: 1.5, 3: -2, 20: 0, 40: 0.25})
+	if g.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (zero dropped)", g.NNZ())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Get(3) != -2 || g.Get(7) != 1.5 || g.Get(40) != 0.25 {
+		t.Error("values wrong")
+	}
+}
+
+func TestRawSizeBytes(t *testing.T) {
+	g := sample()
+	if got := g.RawSizeBytes(false); got != 3*12 {
+		t.Errorf("narrow = %d, want 36", got)
+	}
+	if got := g.RawSizeBytes(true); got != 3*16 {
+		t.Errorf("wide = %d, want 48", got)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	acc := NewAccumulator(20)
+	a := FromMap(20, map[uint64]float64{1: 1, 5: 2})
+	b := FromMap(20, map[uint64]float64{5: 3, 9: -1})
+	if err := acc.Add(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	sum := acc.Sum()
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Get(1) != 1 || sum.Get(5) != 8 || sum.Get(9) != -2 {
+		t.Errorf("sum wrong: %v %v", sum.Keys, sum.Values)
+	}
+	// Accumulator must be clean after Sum.
+	empty := acc.Sum()
+	if empty.NNZ() != 0 {
+		t.Errorf("accumulator not reset: %d entries", empty.NNZ())
+	}
+}
+
+func TestAccumulatorCancellation(t *testing.T) {
+	acc := NewAccumulator(10)
+	a := FromMap(10, map[uint64]float64{2: 5})
+	b := FromMap(10, map[uint64]float64{2: -5})
+	_ = acc.Add(a, 1)
+	_ = acc.Add(b, 1)
+	sum := acc.Sum()
+	if sum.NNZ() != 0 {
+		t.Errorf("cancelled entry should vanish, got %d entries", sum.NNZ())
+	}
+	// And the slot must be reusable afterwards.
+	_ = acc.Add(a, 1)
+	if got := acc.Sum().Get(2); got != 5 {
+		t.Errorf("slot after cancellation = %v, want 5", got)
+	}
+}
+
+func TestAccumulatorDimMismatch(t *testing.T) {
+	acc := NewAccumulator(10)
+	if err := acc.Add(NewSparse(11, 0), 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestSquaredDistance(t *testing.T) {
+	a := FromMap(10, map[uint64]float64{1: 1, 3: 2})
+	b := FromMap(10, map[uint64]float64{3: 2, 5: -3})
+	// diff: key1 -> 1, key3 -> 0, key5 -> 3 => 1 + 9 = 10
+	if got := SquaredDistance(a, b); got != 10 {
+		t.Errorf("SquaredDistance = %v, want 10", got)
+	}
+	if got := SquaredDistance(a, a); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+}
+
+func TestQuickAccumulatorMatchesDense(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const dim = 64
+		acc := NewAccumulator(dim)
+		want := make([]float64, dim)
+		for w := 0; w < 4; w++ {
+			m := map[uint64]float64{}
+			for i := 0; i < 10; i++ {
+				k := uint64(rng.Intn(dim))
+				v := rng.NormFloat64()
+				m[k] += v
+			}
+			g := FromMap(dim, m)
+			if err := acc.Add(g, 0.5); err != nil {
+				return false
+			}
+			for i, k := range g.Keys {
+				want[k] += g.Values[i] * 0.5
+			}
+		}
+		sum := acc.Sum()
+		for k, v := range want {
+			if math.Abs(sum.Get(uint64(k))-v) > 1e-12 {
+				return false
+			}
+		}
+		return sum.Validate() == nil
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAccumulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const dim = 1 << 20
+	grads := make([]*Sparse, 8)
+	for i := range grads {
+		m := map[uint64]float64{}
+		for j := 0; j < 10000; j++ {
+			m[uint64(rng.Intn(dim))] = rng.NormFloat64()
+		}
+		grads[i] = FromMap(dim, m)
+	}
+	acc := NewAccumulator(dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := acc.Add(grads[i&7], 1); err != nil {
+			b.Fatal(err)
+		}
+		if i&7 == 7 {
+			acc.Sum()
+		}
+	}
+}

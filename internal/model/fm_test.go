@@ -1,0 +1,224 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sketchml/internal/dataset"
+	"sketchml/internal/optim"
+)
+
+func fmTestBatch(rng *rand.Rand, n int, dim uint64, nnz int, labelOf func(*dataset.Instance) float64) []*dataset.Instance {
+	batch := make([]*dataset.Instance, n)
+	for i := range batch {
+		keys := map[uint64]float64{}
+		for len(keys) < nnz {
+			keys[uint64(rng.Int63n(int64(dim)))] = rng.NormFloat64()
+		}
+		in := &dataset.Instance{}
+		for k := uint64(0); k < dim; k++ {
+			if v, ok := keys[k]; ok {
+				in.Keys = append(in.Keys, k)
+				in.Values = append(in.Values, v)
+			}
+		}
+		in.Label = labelOf(in)
+		batch[i] = in
+	}
+	return batch
+}
+
+func TestFMParamLayout(t *testing.T) {
+	m := FM{Factors: 3}
+	if m.ParamDim(10) != 10+30 {
+		t.Errorf("ParamDim = %d", m.ParamDim(10))
+	}
+	if m.Name() != "FM-k3" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if d := m.featureDim(40); d != 10 {
+		t.Errorf("featureDim = %d", d)
+	}
+	zero := FM{}
+	if zero.factors() != 4 {
+		t.Errorf("default factors = %d", zero.factors())
+	}
+}
+
+func TestFMInitThetaDeterministic(t *testing.T) {
+	m := FM{Factors: 2, Seed: 5}
+	a := make([]float64, m.ParamDim(8))
+	b := make([]float64, m.ParamDim(8))
+	m.InitTheta(a)
+	m.InitTheta(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("InitTheta not deterministic")
+		}
+	}
+	// Linear block stays zero, factor block nonzero.
+	for i := 0; i < 8; i++ {
+		if a[i] != 0 {
+			t.Fatal("linear block touched")
+		}
+	}
+	nz := 0
+	for i := 8; i < len(a); i++ {
+		if a[i] != 0 {
+			nz++
+		}
+	}
+	if nz == 0 {
+		t.Fatal("factor block not initialized")
+	}
+}
+
+func TestFMGradientMatchesFiniteDifference(t *testing.T) {
+	for _, regression := range []bool{false, true} {
+		m := FM{Factors: 2, Seed: 3, Regression: regression, InitScale: 0.3}
+		const dim = 6
+		rng := rand.New(rand.NewSource(7))
+		labelOf := func(in *dataset.Instance) float64 {
+			if regression {
+				return rng.NormFloat64()
+			}
+			if rng.Intn(2) == 0 {
+				return -1
+			}
+			return 1
+		}
+		batch := fmTestBatch(rng, 5, dim, 3, labelOf)
+		theta := make([]float64, m.ParamDim(dim))
+		m.InitTheta(theta)
+		for i := range theta {
+			theta[i] += rng.NormFloat64() * 0.2
+		}
+		const lambda = 0.01
+		g, _ := m.BatchGradient(theta, batch, lambda)
+		obj := func(th []float64) float64 {
+			var s float64
+			sumF := make([]float64, 2)
+			for _, in := range batch {
+				loss, _ := m.lossAndScalar(m.predict(th, in, sumF), in.Label)
+				s += loss
+			}
+			s /= float64(len(batch))
+			for _, k := range g.Keys {
+				s += lambda / 2 * th[k] * th[k]
+			}
+			return s
+		}
+		const h = 1e-6
+		for _, k := range g.Keys {
+			tp := append([]float64(nil), theta...)
+			tm := append([]float64(nil), theta...)
+			tp[k] += h
+			tm[k] -= h
+			want := (obj(tp) - obj(tm)) / (2 * h)
+			if math.Abs(g.Get(k)-want) > 1e-4 {
+				t.Fatalf("regression=%v: grad[%d] = %v, finite diff %v",
+					regression, k, g.Get(k), want)
+			}
+		}
+	}
+}
+
+func TestFMGradientSparsity(t *testing.T) {
+	m := FM{Factors: 2, Seed: 1}
+	const dim = 1000
+	rng := rand.New(rand.NewSource(2))
+	batch := fmTestBatch(rng, 3, dim, 4, func(*dataset.Instance) float64 { return 1 })
+	theta := make([]float64, m.ParamDim(dim))
+	m.InitTheta(theta)
+	g, _ := m.BatchGradient(theta, batch, 0.01)
+	active := map[uint64]bool{}
+	for _, in := range batch {
+		for _, k := range in.Keys {
+			active[k] = true
+			for f := uint64(0); f < 2; f++ {
+				active[dim+k*2+f] = true
+			}
+		}
+	}
+	for _, k := range g.Keys {
+		if !active[k] {
+			t.Fatalf("gradient touches inactive parameter %d", k)
+		}
+	}
+	if g.NNZ() == 0 {
+		t.Fatal("empty FM gradient")
+	}
+}
+
+func TestFMLearnsInteractions(t *testing.T) {
+	// XOR-like task that NO linear model can solve: label = sign of the
+	// product of two feature values. FM's second-order term can.
+	rng := rand.New(rand.NewSource(4))
+	const n = 800
+	ds := &dataset.Dataset{Dim: 2, Instances: make([]dataset.Instance, n)}
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		label := -1.0
+		if a*b > 0 {
+			label = 1
+		}
+		ds.Instances[i] = dataset.Instance{
+			Keys: []uint64{0, 1}, Values: []float64{a, b}, Label: label,
+		}
+	}
+	m := FM{Factors: 2, Seed: 6, InitScale: 0.1}
+	theta := make([]float64, m.ParamDim(ds.Dim))
+	m.InitTheta(theta)
+	opt := optim.NewAdam(0.05, m.ParamDim(ds.Dim))
+	batcher := dataset.NewBatcher(ds, 50, 8)
+	var buf []*dataset.Instance
+	for it := 0; it < 600; it++ {
+		buf = batcher.Next(buf)
+		g, _ := m.BatchGradient(theta, buf, 0.001)
+		if err := opt.Step(theta, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, acc := m.Evaluate(theta, ds)
+	if acc < 0.9 {
+		t.Errorf("FM accuracy on interaction task %.2f, want > 0.9", acc)
+	}
+
+	// A linear model must fail here (~chance).
+	thetaLin := make([]float64, ds.Dim)
+	optLin := optim.NewAdam(0.05, ds.Dim)
+	b2 := dataset.NewBatcher(ds, 50, 8)
+	for it := 0; it < 600; it++ {
+		buf = b2.Next(buf)
+		g, _ := BatchGradient(LogisticRegression{}, thetaLin, buf, 0.001)
+		if err := optLin.Step(thetaLin, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, linAcc := Evaluate(LogisticRegression{}, thetaLin, ds)
+	if linAcc > 0.7 {
+		t.Errorf("linear model should fail the interaction task, got %.2f", linAcc)
+	}
+}
+
+func TestWrapAdapter(t *testing.T) {
+	tr := Wrap(SVM{})
+	if tr.Name() != "SVM" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	if tr.ParamDim(42) != 42 {
+		t.Errorf("ParamDim = %d", tr.ParamDim(42))
+	}
+	d := &dataset.Dataset{Dim: 3, Instances: []dataset.Instance{
+		{Keys: []uint64{0}, Values: []float64{1}, Label: 1},
+	}}
+	theta := make([]float64, 3)
+	g, loss := tr.BatchGradient(theta, []*dataset.Instance{&d.Instances[0]}, 0)
+	if g.NNZ() == 0 || loss <= 0 {
+		t.Error("adapter gradient wrong")
+	}
+	if l, _ := tr.Evaluate(theta, d); l <= 0 {
+		t.Errorf("adapter Evaluate = %v", l)
+	}
+}

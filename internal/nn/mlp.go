@@ -1,0 +1,255 @@
+// Package nn implements the multilayer perceptron used by the paper's
+// Appendix B.3 experiment: an input layer, fully connected hidden layers
+// with ReLU activations, and a softmax cross-entropy output over 10
+// classes. Parameters live in one flat vector so that gradients can be
+// exchanged (and compressed) exactly like the linear models' sparse
+// gradients — for dense NN gradients the paper notes value compression
+// still applies while key compression is redundant.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sketchml/internal/dataset"
+)
+
+// MLP is a feed-forward network with ReLU hidden units and a softmax
+// cross-entropy output.
+type MLP struct {
+	sizes  []int // layer widths, input first, classes last
+	params []float64
+	// offsets[l] is the index of layer l's weight block; biases follow the
+	// weights within each block.
+	offsets []int
+}
+
+// New creates an MLP with the given layer sizes (at least input and output)
+// and He-initialized weights drawn deterministically from seed.
+func New(sizes []int, seed int64) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: need at least 2 layers, got %d", len(sizes))
+	}
+	for i, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("nn: layer %d has size %d", i, s)
+		}
+	}
+	total := 0
+	offsets := make([]int, len(sizes)-1)
+	for l := 0; l < len(sizes)-1; l++ {
+		offsets[l] = total
+		total += sizes[l]*sizes[l+1] + sizes[l+1]
+	}
+	m := &MLP{
+		sizes:   append([]int(nil), sizes...),
+		params:  make([]float64, total),
+		offsets: offsets,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for l := 0; l < len(sizes)-1; l++ {
+		in := sizes[l]
+		scale := math.Sqrt(2.0 / float64(in))
+		w := m.weights(l)
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		// Biases start at zero.
+	}
+	return m, nil
+}
+
+// weights returns layer l's weight block (out×in, row-major by output unit).
+func (m *MLP) weights(l int) []float64 {
+	in, out := m.sizes[l], m.sizes[l+1]
+	start := m.offsets[l]
+	return m.params[start : start+in*out]
+}
+
+// biases returns layer l's bias block.
+func (m *MLP) biases(l int) []float64 {
+	in, out := m.sizes[l], m.sizes[l+1]
+	start := m.offsets[l] + in*out
+	return m.params[start : start+out]
+}
+
+// ParamDim returns the total number of parameters.
+func (m *MLP) ParamDim() uint64 { return uint64(len(m.params)) }
+
+// Params returns the flat parameter vector; optimizers mutate it in place.
+func (m *MLP) Params() []float64 { return m.params }
+
+// Sizes returns the layer widths.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// Classes returns the output width.
+func (m *MLP) Classes() int { return m.sizes[len(m.sizes)-1] }
+
+// forward runs the network on x, returning every layer's post-activation
+// output (activations[0] == x) and the pre-softmax logits.
+func (m *MLP) forward(x []float64) (activations [][]float64, logits []float64) {
+	activations = make([][]float64, len(m.sizes))
+	activations[0] = x
+	cur := x
+	for l := 0; l < len(m.sizes)-1; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w, b := m.weights(l), m.biases(l)
+		next := make([]float64, out)
+		for o := 0; o < out; o++ {
+			s := b[o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			next[o] = s
+		}
+		if l < len(m.sizes)-2 { // hidden layer: ReLU
+			for o := range next {
+				if next[o] < 0 {
+					next[o] = 0
+				}
+			}
+		}
+		activations[l+1] = next
+		cur = next
+	}
+	return activations, activations[len(activations)-1]
+}
+
+// softmax computes stable softmax probabilities in place over logits.
+func softmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		max = math.Max(max, v)
+	}
+	probs := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		probs[i] = math.Exp(v - max)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// denseInput materializes an instance as a dense input vector.
+func (m *MLP) denseInput(in *dataset.Instance) []float64 {
+	x := make([]float64, m.sizes[0])
+	for i, k := range in.Keys {
+		if int(k) < len(x) {
+			x[k] = in.Values[i]
+		}
+	}
+	return x
+}
+
+// LossAndGradient computes the mean cross-entropy loss of the batch and the
+// mean gradient over the flat parameter vector. Labels are class indexes.
+func (m *MLP) LossAndGradient(batch []*dataset.Instance) (float64, []float64, error) {
+	grad := make([]float64, len(m.params))
+	if len(batch) == 0 {
+		return 0, grad, nil
+	}
+	var lossSum float64
+	nLayers := len(m.sizes) - 1
+	for _, in := range batch {
+		cls := int(in.Label)
+		if cls < 0 || cls >= m.Classes() {
+			return 0, nil, fmt.Errorf("nn: label %v out of [0, %d)", in.Label, m.Classes())
+		}
+		acts, logits := m.forward(m.denseInput(in))
+		probs := softmax(logits)
+		lossSum += -math.Log(math.Max(probs[cls], 1e-300))
+
+		// Backprop. delta starts as dLoss/dlogits = probs - onehot.
+		delta := append([]float64(nil), probs...)
+		delta[cls]--
+		for l := nLayers - 1; l >= 0; l-- {
+			inW, outW := m.sizes[l], m.sizes[l+1]
+			w := m.weights(l)
+			gw := grad[m.offsets[l] : m.offsets[l]+inW*outW]
+			gb := grad[m.offsets[l]+inW*outW : m.offsets[l]+inW*outW+outW]
+			prev := acts[l]
+			for o := 0; o < outW; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				row := gw[o*inW : (o+1)*inW]
+				for i, a := range prev {
+					row[i] += d * a
+				}
+				gb[o] += d
+			}
+			if l > 0 {
+				// Propagate through weights and the previous ReLU.
+				next := make([]float64, inW)
+				for o := 0; o < outW; o++ {
+					d := delta[o]
+					if d == 0 {
+						continue
+					}
+					row := w[o*inW : (o+1)*inW]
+					for i := range next {
+						next[i] += d * row[i]
+					}
+				}
+				for i := range next {
+					if acts[l][i] <= 0 { // ReLU derivative
+						next[i] = 0
+					}
+				}
+				delta = next
+			}
+		}
+	}
+	inv := 1.0 / float64(len(batch))
+	for i := range grad {
+		grad[i] *= inv
+	}
+	return lossSum * inv, grad, nil
+}
+
+// Loss returns the mean cross-entropy of the dataset without gradients.
+func (m *MLP) Loss(d *dataset.Dataset) (float64, error) {
+	if d.N() == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range d.Instances {
+		in := &d.Instances[i]
+		cls := int(in.Label)
+		if cls < 0 || cls >= m.Classes() {
+			return 0, fmt.Errorf("nn: label %v out of range", in.Label)
+		}
+		_, logits := m.forward(m.denseInput(in))
+		probs := softmax(logits)
+		sum += -math.Log(math.Max(probs[cls], 1e-300))
+	}
+	return sum / float64(d.N()), nil
+}
+
+// Accuracy returns the top-1 accuracy on the dataset.
+func (m *MLP) Accuracy(d *dataset.Dataset) float64 {
+	if d.N() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range d.Instances {
+		in := &d.Instances[i]
+		_, logits := m.forward(m.denseInput(in))
+		best, bestV := 0, math.Inf(-1)
+		for c, v := range logits {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		if best == int(in.Label) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.N())
+}

@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"sketchml/internal/dataset"
+	"sketchml/internal/gradient"
+	"sketchml/internal/optim"
+)
+
+func tinyBatch() []*dataset.Instance {
+	return []*dataset.Instance{
+		{Keys: []uint64{0, 1, 2}, Values: []float64{1, -0.5, 0.25}, Label: 0},
+		{Keys: []uint64{0, 1, 2}, Values: []float64{-1, 0.5, 2}, Label: 2},
+		{Keys: []uint64{0, 2}, Values: []float64{0.3, -1.2}, Label: 1},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]int{5}, 1); err == nil {
+		t.Error("single layer accepted")
+	}
+	if _, err := New([]int{5, 0, 3}, 1); err == nil {
+		t.Error("zero-width layer accepted")
+	}
+	m, err := New([]int{3, 4, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*4 + 4 + 4*2 + 2
+	if int(m.ParamDim()) != want {
+		t.Errorf("ParamDim = %d, want %d", m.ParamDim(), want)
+	}
+	if m.Classes() != 2 {
+		t.Errorf("Classes = %d", m.Classes())
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := New([]int{3, 5, 2}, 42)
+	b, _ := New([]int{3, 5, 2}, 42)
+	for i := range a.Params() {
+		if a.Params()[i] != b.Params()[i] {
+			t.Fatal("same seed, different init")
+		}
+	}
+	c, _ := New([]int{3, 5, 2}, 43)
+	same := true
+	for i := range a.Params() {
+		if a.Params()[i] != c.Params()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds, identical init")
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	m, err := New([]int{3, 4, 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tinyBatch()
+	loss0, grad, err := m.LossAndGradient(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss0 <= 0 {
+		t.Fatalf("loss = %v", loss0)
+	}
+	const h = 1e-6
+	params := m.Params()
+	// Spot-check a spread of parameters (all of them for a net this small).
+	for i := 0; i < len(params); i++ {
+		orig := params[i]
+		params[i] = orig + h
+		lp, _, _ := m.LossAndGradient(batch)
+		params[i] = orig - h
+		lm, _, _ := m.LossAndGradient(batch)
+		params[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(grad[i]-want) > 1e-4 {
+			t.Fatalf("grad[%d] = %v, finite diff %v", i, grad[i], want)
+		}
+	}
+}
+
+func TestLossAndGradientRejectsBadLabel(t *testing.T) {
+	m, _ := New([]int{2, 3}, 1)
+	bad := []*dataset.Instance{{Keys: []uint64{0}, Values: []float64{1}, Label: 9}}
+	if _, _, err := m.LossAndGradient(bad); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := m.Loss(&dataset.Dataset{Dim: 2, Instances: []dataset.Instance{
+		{Keys: []uint64{0}, Values: []float64{1}, Label: -1},
+	}}); err == nil {
+		t.Error("negative label accepted")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	m, _ := New([]int{2, 3}, 1)
+	loss, grad, err := m.LossAndGradient(nil)
+	if err != nil || loss != 0 {
+		t.Fatalf("loss=%v err=%v", loss, err)
+	}
+	for _, g := range grad {
+		if g != 0 {
+			t.Fatal("nonzero gradient for empty batch")
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	p := softmax([]float64{1000, 1001, 999})
+	var sum float64
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflow")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if p[1] < p[0] || p[1] < p[2] {
+		t.Error("softmax ordering wrong")
+	}
+}
+
+func TestTrainingReducesLossMNISTLike(t *testing.T) {
+	d := dataset.MNISTLike(3, 500, 12) // 12x12 = 144-dim inputs, fast
+	m, err := New([]int{144, 32, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optim.NewAdam(0.01, m.ParamDim())
+	batcher := dataset.NewBatcher(d, 30, 9)
+	loss0, err := m.Loss(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []*dataset.Instance
+	for iter := 0; iter < 400; iter++ {
+		buf = batcher.Next(buf)
+		_, g, err := m.LossAndGradient(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg := gradient.FromDense(g, 0)
+		if err := opt.Step(m.Params(), sg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loss1, err := m.Loss(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss1 >= loss0*0.5 {
+		t.Errorf("loss %v -> %v; expected at least 2x reduction", loss0, loss1)
+	}
+	if acc := m.Accuracy(d); acc < 0.6 {
+		t.Errorf("train accuracy %.2f after training, want > 0.6", acc)
+	}
+}
+
+func BenchmarkLossAndGradient(b *testing.B) {
+	d := dataset.MNISTLike(1, 64, 20)
+	m, _ := New([]int{400, 100, 10}, 1)
+	batch := make([]*dataset.Instance, 32)
+	for i := range batch {
+		batch[i] = &d.Instances[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.LossAndGradient(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

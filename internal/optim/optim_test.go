@@ -1,0 +1,166 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"sketchml/internal/gradient"
+)
+
+func grad(dim uint64, kv map[uint64]float64) *gradient.Sparse {
+	return gradient.FromMap(dim, kv)
+}
+
+func TestSGDStep(t *testing.T) {
+	theta := []float64{1, 2, 3}
+	s := NewSGD(0.5)
+	if err := s.Step(theta, grad(3, map[uint64]float64{0: 2, 2: -4})); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2, 5}
+	for i := range want {
+		if theta[i] != want[i] {
+			t.Errorf("theta[%d] = %v, want %v", i, theta[i], want[i])
+		}
+	}
+}
+
+func TestSGDDimMismatch(t *testing.T) {
+	s := NewSGD(0.1)
+	if err := s.Step(make([]float64, 3), grad(4, map[uint64]float64{0: 1})); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestAdamMatchesReference(t *testing.T) {
+	// One dense dimension, several steps: compare to a hand-rolled Adam.
+	const lr, b1, b2, eps = 0.1, 0.9, 0.999, 1e-8
+	a := NewAdam(lr, 1)
+	theta := []float64{0.5}
+	refTheta := 0.5
+	var m, v float64
+	grads := []float64{1.0, -0.5, 0.25, 2.0, -1.0}
+	for step, gv := range grads {
+		if err := a.Step(theta, grad(1, map[uint64]float64{0: gv})); err != nil {
+			t.Fatal(err)
+		}
+		tt := float64(step + 1)
+		m = b1*m + (1-b1)*gv
+		v = b2*v + (1-b2)*gv*gv
+		mHat := m / (1 - math.Pow(b1, tt))
+		vHat := v / (1 - math.Pow(b2, tt))
+		refTheta -= lr * mHat / (math.Sqrt(vHat) + eps)
+		if math.Abs(theta[0]-refTheta) > 1e-12 {
+			t.Fatalf("step %d: theta = %v, reference %v", step, theta[0], refTheta)
+		}
+	}
+	if a.Steps() != len(grads) {
+		t.Errorf("Steps = %d, want %d", a.Steps(), len(grads))
+	}
+}
+
+func TestAdamSparseOnlyTouchesActiveDims(t *testing.T) {
+	a := NewAdam(0.1, 4)
+	theta := []float64{1, 1, 1, 1}
+	if err := a.Step(theta, grad(4, map[uint64]float64{1: 5})); err != nil {
+		t.Fatal(err)
+	}
+	if theta[0] != 1 || theta[2] != 1 || theta[3] != 1 {
+		t.Error("inactive dims moved")
+	}
+	if theta[1] == 1 {
+		t.Error("active dim did not move")
+	}
+}
+
+func TestAdamAdaptsPerDimension(t *testing.T) {
+	// Adam's defining property (and why the paper uses it to compensate
+	// MinMaxSketch decay): after many steps, a dimension fed consistently
+	// small gradients moves nearly as fast as one fed large gradients,
+	// because the step is m̂/√v̂ ≈ sign.
+	a := NewAdam(0.01, 2)
+	theta := []float64{0, 0}
+	for i := 0; i < 200; i++ {
+		if err := a.Step(theta, grad(2, map[uint64]float64{0: 1.0, 1: 0.001})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ratio := theta[1] / theta[0]
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("small-gradient dim moved %.3fx of large-gradient dim, want ~1x", ratio)
+	}
+	sgd := NewSGD(0.01)
+	th2 := []float64{0, 0}
+	for i := 0; i < 200; i++ {
+		if err := sgd.Step(th2, grad(2, map[uint64]float64{0: 1.0, 1: 0.001})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := th2[1] / th2[0]; r > 0.01 {
+		t.Errorf("SGD should not adapt: ratio %v", r)
+	}
+}
+
+func TestAdamReset(t *testing.T) {
+	a := NewAdam(0.1, 2)
+	theta := []float64{0, 0}
+	_ = a.Step(theta, grad(2, map[uint64]float64{0: 1}))
+	a.Reset()
+	if a.Steps() != 0 {
+		t.Error("Reset did not clear step count")
+	}
+	// After reset, behaviour matches a fresh optimizer.
+	fresh := NewAdam(0.1, 2)
+	t1, t2 := []float64{0, 0}, []float64{0, 0}
+	g := grad(2, map[uint64]float64{1: -2})
+	_ = a.Step(t1, g)
+	_ = fresh.Step(t2, g)
+	if t1[1] != t2[1] {
+		t.Errorf("reset state differs from fresh: %v vs %v", t1[1], t2[1])
+	}
+}
+
+func TestAdamDimMismatch(t *testing.T) {
+	a := NewAdam(0.1, 3)
+	if err := a.Step(make([]float64, 3), grad(5, map[uint64]float64{0: 1})); err == nil {
+		t.Error("gradient dim mismatch accepted")
+	}
+	if err := a.Step(make([]float64, 5), grad(5, map[uint64]float64{0: 1})); err == nil {
+		t.Error("state dim mismatch accepted")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = (x-3)^2 with exact gradients.
+	a := NewAdam(0.1, 1)
+	theta := []float64{-5}
+	for i := 0; i < 2000; i++ {
+		g := grad(1, map[uint64]float64{0: 2 * (theta[0] - 3)})
+		if g.NNZ() == 0 { // converged exactly
+			break
+		}
+		if err := a.Step(theta, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(theta[0]-3) > 0.01 {
+		t.Errorf("Adam converged to %v, want 3", theta[0])
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	const dim = 1 << 20
+	a := NewAdam(0.01, dim)
+	theta := make([]float64, dim)
+	kv := map[uint64]float64{}
+	for i := 0; i < 10000; i++ {
+		kv[uint64(i*97)%dim] = 0.01
+	}
+	g := grad(dim, kv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Step(theta, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

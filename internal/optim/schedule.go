@@ -1,0 +1,187 @@
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"sketchml/internal/gradient"
+)
+
+// Schedule maps a step counter to a learning-rate multiplier. The base
+// learning rate of the wrapped optimizer is multiplied by Factor(step) on
+// every update.
+type Schedule interface {
+	// Name identifies the schedule.
+	Name() string
+	// Factor returns the multiplier for 1-based step t.
+	Factor(t int) float64
+}
+
+// ConstantSchedule keeps the learning rate fixed.
+type ConstantSchedule struct{}
+
+// Name implements Schedule.
+func (ConstantSchedule) Name() string { return "constant" }
+
+// Factor implements Schedule.
+func (ConstantSchedule) Factor(int) float64 { return 1 }
+
+// InvSqrtSchedule decays the learning rate as 1/sqrt(t), the classical
+// Robbins–Monro-compatible schedule for SGD on convex objectives.
+type InvSqrtSchedule struct{}
+
+// Name implements Schedule.
+func (InvSqrtSchedule) Name() string { return "inv-sqrt" }
+
+// Factor implements Schedule.
+func (InvSqrtSchedule) Factor(t int) float64 {
+	if t < 1 {
+		t = 1
+	}
+	return 1 / math.Sqrt(float64(t))
+}
+
+// StepDecaySchedule multiplies the rate by Gamma every Every steps.
+type StepDecaySchedule struct {
+	Every int     // steps between decays (must be >= 1)
+	Gamma float64 // per-decay multiplier in (0, 1]
+}
+
+// Name implements Schedule.
+func (s StepDecaySchedule) Name() string { return "step-decay" }
+
+// Factor implements Schedule.
+func (s StepDecaySchedule) Factor(t int) float64 {
+	every := s.Every
+	if every < 1 {
+		every = 1
+	}
+	gamma := s.Gamma
+	if gamma <= 0 || gamma > 1 {
+		gamma = 0.5
+	}
+	return math.Pow(gamma, float64((t-1)/every))
+}
+
+// Scheduled wraps an SGD optimizer with a learning-rate schedule. (Adam
+// already adapts per-dimension; schedules compose with plain SGD, which is
+// where they matter.)
+type Scheduled struct {
+	base     *SGD
+	baseLR   float64
+	schedule Schedule
+	t        int
+}
+
+// NewScheduled wraps sgd with the schedule.
+func NewScheduled(sgd *SGD, s Schedule) *Scheduled {
+	return &Scheduled{base: sgd, baseLR: sgd.LR, schedule: s}
+}
+
+// Name implements Optimizer.
+func (s *Scheduled) Name() string {
+	return fmt.Sprintf("%s(%s)", s.base.Name(), s.schedule.Name())
+}
+
+// Step implements Optimizer.
+func (s *Scheduled) Step(theta []float64, g *gradient.Sparse) error {
+	s.t++
+	s.base.LR = s.baseLR * s.schedule.Factor(s.t)
+	return s.base.Step(theta, g)
+}
+
+// Reset implements Optimizer.
+func (s *Scheduled) Reset() {
+	s.t = 0
+	s.base.LR = s.baseLR
+	s.base.Reset()
+}
+
+// AdaGrad is the adaptive-subgradient method of Duchi et al. (the paper's
+// related-work citation [15]): each dimension's rate is divided by the
+// root of its accumulated squared gradients. Like Adam it compensates the
+// decay MinMaxSketch introduces, but without momentum.
+type AdaGrad struct {
+	LR      float64
+	Epsilon float64
+	sum     []float64
+}
+
+// NewAdaGrad returns an AdaGrad optimizer over dim parameters.
+func NewAdaGrad(lr float64, dim uint64) *AdaGrad {
+	return &AdaGrad{LR: lr, Epsilon: 1e-8, sum: make([]float64, dim)}
+}
+
+// Name implements Optimizer.
+func (a *AdaGrad) Name() string { return "AdaGrad" }
+
+// Step implements Optimizer.
+func (a *AdaGrad) Step(theta []float64, g *gradient.Sparse) error {
+	if g.Dim != uint64(len(theta)) || len(a.sum) != len(theta) {
+		return fmt.Errorf("optim: dim mismatch: grad %d, model %d, state %d",
+			g.Dim, len(theta), len(a.sum))
+	}
+	for i, k := range g.Keys {
+		gv := g.Values[i]
+		a.sum[k] += gv * gv
+		theta[k] -= a.LR * gv / (math.Sqrt(a.sum[k]) + a.Epsilon)
+	}
+	return nil
+}
+
+// Reset implements Optimizer.
+func (a *AdaGrad) Reset() {
+	for i := range a.sum {
+		a.sum[i] = 0
+	}
+}
+
+// Momentum is SGD with classical (heavy-ball) momentum (Qian; Nesterov's
+// family is the paper's citation [36, 37]): v ← μ·v + g; θ ← θ − η·v.
+// Velocity is kept densely but only active dimensions update per step, so
+// stale velocity decays lazily on next touch (tracked via per-dimension
+// step stamps).
+type Momentum struct {
+	LR float64
+	Mu float64
+
+	vel   []float64
+	stamp []int
+	t     int
+}
+
+// NewMomentum returns a momentum optimizer over dim parameters with
+// coefficient mu (typically 0.9).
+func NewMomentum(lr, mu float64, dim uint64) *Momentum {
+	return &Momentum{LR: lr, Mu: mu, vel: make([]float64, dim), stamp: make([]int, dim)}
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "Momentum" }
+
+// Step implements Optimizer.
+func (m *Momentum) Step(theta []float64, g *gradient.Sparse) error {
+	if g.Dim != uint64(len(theta)) || len(m.vel) != len(theta) {
+		return fmt.Errorf("optim: dim mismatch: grad %d, model %d, state %d",
+			g.Dim, len(theta), len(m.vel))
+	}
+	m.t++
+	for i, k := range g.Keys {
+		// Lazily decay velocity for the steps this dimension missed.
+		if gap := m.t - 1 - m.stamp[k]; gap > 0 {
+			m.vel[k] *= math.Pow(m.Mu, float64(gap))
+		}
+		m.vel[k] = m.Mu*m.vel[k] + g.Values[i]
+		m.stamp[k] = m.t
+		theta[k] -= m.LR * m.vel[k]
+	}
+	return nil
+}
+
+// Reset implements Optimizer.
+func (m *Momentum) Reset() {
+	for i := range m.vel {
+		m.vel[i], m.stamp[i] = 0, 0
+	}
+	m.t = 0
+}

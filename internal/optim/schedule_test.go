@@ -1,0 +1,190 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"sketchml/internal/gradient"
+)
+
+func TestSchedulesFactors(t *testing.T) {
+	c := ConstantSchedule{}
+	if c.Factor(1) != 1 || c.Factor(1000) != 1 {
+		t.Error("constant schedule should always be 1")
+	}
+	inv := InvSqrtSchedule{}
+	if inv.Factor(1) != 1 {
+		t.Errorf("inv-sqrt at t=1 = %v", inv.Factor(1))
+	}
+	if got := inv.Factor(4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("inv-sqrt at t=4 = %v, want 0.5", got)
+	}
+	if inv.Factor(0) != 1 {
+		t.Error("inv-sqrt should clamp t < 1")
+	}
+	sd := StepDecaySchedule{Every: 10, Gamma: 0.5}
+	cases := []struct {
+		t    int
+		want float64
+	}{{1, 1}, {10, 1}, {11, 0.5}, {21, 0.25}}
+	for _, c := range cases {
+		if got := sd.Factor(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("step-decay(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Degenerate parameters fall back to sane defaults.
+	bad := StepDecaySchedule{}
+	if got := bad.Factor(2); got <= 0 || got > 1 {
+		t.Errorf("degenerate step-decay factor %v", got)
+	}
+}
+
+func TestScheduledSGD(t *testing.T) {
+	s := NewScheduled(NewSGD(1.0), InvSqrtSchedule{})
+	theta := []float64{0}
+	g := grad(1, map[uint64]float64{0: 1})
+	// Step 1: lr 1.0; step 2: lr 1/sqrt(2); step 3: 1/sqrt(3)...
+	want := 0.0
+	for i := 1; i <= 4; i++ {
+		if err := s.Step(theta, g); err != nil {
+			t.Fatal(err)
+		}
+		want -= 1 / math.Sqrt(float64(i))
+		if math.Abs(theta[0]-want) > 1e-12 {
+			t.Fatalf("after step %d theta = %v, want %v", i, theta[0], want)
+		}
+	}
+	if s.Name() != "SGD(inv-sqrt)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	s.Reset()
+	theta[0] = 0
+	if err := s.Step(theta, g); err != nil {
+		t.Fatal(err)
+	}
+	if theta[0] != -1 {
+		t.Errorf("after reset first step = %v, want -1 (full lr)", theta[0])
+	}
+}
+
+func TestAdaGradReference(t *testing.T) {
+	a := NewAdaGrad(0.5, 1)
+	theta := []float64{0}
+	var sum, ref float64
+	for _, gv := range []float64{1, -2, 0.5} {
+		if err := a.Step(theta, grad(1, map[uint64]float64{0: gv})); err != nil {
+			t.Fatal(err)
+		}
+		sum += gv * gv
+		ref -= 0.5 * gv / (math.Sqrt(sum) + 1e-8)
+		if math.Abs(theta[0]-ref) > 1e-12 {
+			t.Fatalf("theta = %v, reference %v", theta[0], ref)
+		}
+	}
+}
+
+func TestAdaGradAdapts(t *testing.T) {
+	// Like Adam, AdaGrad equalizes effective steps across dimensions with
+	// different gradient scales.
+	a := NewAdaGrad(0.1, 2)
+	theta := []float64{0, 0}
+	for i := 0; i < 100; i++ {
+		if err := a.Step(theta, grad(2, map[uint64]float64{0: 1.0, 1: 0.01})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ratio := theta[1] / theta[0]; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("AdaGrad per-dimension ratio %v, want ~1", ratio)
+	}
+}
+
+func TestAdaGradResetAndErrors(t *testing.T) {
+	a := NewAdaGrad(0.1, 2)
+	theta := []float64{0, 0}
+	_ = a.Step(theta, grad(2, map[uint64]float64{0: 1}))
+	a.Reset()
+	fresh := NewAdaGrad(0.1, 2)
+	t1, t2 := []float64{0, 0}, []float64{0, 0}
+	g := grad(2, map[uint64]float64{1: 2})
+	_ = a.Step(t1, g)
+	_ = fresh.Step(t2, g)
+	if t1[1] != t2[1] {
+		t.Error("Reset state differs from fresh")
+	}
+	if err := a.Step(make([]float64, 3), grad(3, map[uint64]float64{0: 1})); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+var _ = []Optimizer{(*Scheduled)(nil), (*AdaGrad)(nil)} // interface checks
+
+func TestGradHelper(t *testing.T) {
+	g := grad(5, map[uint64]float64{2: 1.5})
+	if g.Dim != 5 || g.Get(2) != 1.5 {
+		t.Error("test helper broken")
+	}
+	_ = gradient.SquaredDistance(g, g)
+}
+
+func TestMomentumReference(t *testing.T) {
+	m := NewMomentum(0.1, 0.9, 1)
+	theta := []float64{0}
+	var v, ref float64
+	for _, gv := range []float64{1, 1, -0.5} {
+		if err := m.Step(theta, grad(1, map[uint64]float64{0: gv})); err != nil {
+			t.Fatal(err)
+		}
+		v = 0.9*v + gv
+		ref -= 0.1 * v
+		if math.Abs(theta[0]-ref) > 1e-12 {
+			t.Fatalf("theta = %v, reference %v", theta[0], ref)
+		}
+	}
+}
+
+func TestMomentumLazyDecay(t *testing.T) {
+	// A dimension untouched for k steps must behave as if its velocity
+	// decayed by mu^k, matching a dense implementation.
+	m := NewMomentum(1.0, 0.5, 2)
+	theta := []float64{0, 0}
+	// Explicit zero-valued entries keep a dimension "touched" without
+	// adding gradient (FromMap would drop them).
+	withZero := func(keys []uint64) *gradient.Sparse {
+		g := gradient.NewSparse(2, len(keys))
+		for _, k := range keys {
+			g.Append(k, 0)
+		}
+		return g
+	}
+	// Step 1 touches both dims with gradient 1.
+	_ = m.Step(theta, grad(2, map[uint64]float64{0: 1, 1: 1}))
+	// Steps 2,3 touch only dim 0 (zero gradient).
+	_ = m.Step(theta, withZero([]uint64{0}))
+	_ = m.Step(theta, withZero([]uint64{0}))
+	// Step 4 touches dim 1 again with zero gradient: its velocity should
+	// have decayed as 1 * 0.5^3 = 0.125, so theta moves by -0.125.
+	before := theta[1]
+	_ = m.Step(theta, withZero([]uint64{1}))
+	if math.Abs((before-theta[1])-0.125) > 1e-12 {
+		t.Errorf("lazy decay moved dim by %v, want 0.125", before-theta[1])
+	}
+}
+
+func TestMomentumAccelerates(t *testing.T) {
+	// On a constant gradient, momentum covers more distance than plain SGD
+	// at the same learning rate.
+	sgd, mom := NewSGD(0.1), NewMomentum(0.1, 0.9, 1)
+	a, b := []float64{0}, []float64{0}
+	g := grad(1, map[uint64]float64{0: 1})
+	for i := 0; i < 20; i++ {
+		_ = sgd.Step(a, g)
+		_ = mom.Step(b, g)
+	}
+	if -b[0] <= -a[0] {
+		t.Errorf("momentum %v should outrun SGD %v", b[0], a[0])
+	}
+	mom.Reset()
+	if mom.t != 0 {
+		t.Error("Reset incomplete")
+	}
+}

@@ -1,0 +1,367 @@
+// Package quantizer implements the value-quantification strategies compared
+// in the SketchML paper:
+//
+//   - Quantile-bucket quantification (Section 3.2): a quantile sketch turns
+//     the observed value distribution into q equal-population buckets; each
+//     value is replaced by its bucket's mean and encoded as the bucket index.
+//     This adapts to the nonuniform, near-zero-concentrated distribution of
+//     real gradients.
+//   - Signed quantile quantification (Section 3.3, Solution 1): positive and
+//     negative values are quantized with separate sketches over magnitudes,
+//     so no bucket straddles zero and a decayed bucket index can never flip
+//     a gradient's sign.
+//   - Uniform quantification (the ZipML baseline): the value RANGE is split
+//     into equal-width levels, which collapses most near-zero gradients to
+//     zero on skewed data.
+//   - One-bit quantification (1-bit SGD baseline): values are reduced to a
+//     sign times the mean magnitude.
+package quantizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sketchml/internal/sketch/quantile"
+)
+
+// Quantile maps values to equal-population buckets built from a GK sketch.
+// Bucket i covers [Splits[i], Splits[i+1]) (the last bucket is inclusive on
+// the right) and decodes to the bucket mean (Splits[i]+Splits[i+1])/2.
+type Quantile struct {
+	splits []float64 // q+1 ascending split points
+	means  []float64 // q bucket means
+}
+
+// SketchAlgo selects the streaming quantile sketch used to find splits.
+type SketchAlgo int
+
+// Supported quantile sketch algorithms.
+const (
+	// GKAlgo is the Greenwald–Khanna sketch (deterministic rank bounds).
+	GKAlgo SketchAlgo = iota
+	// KLLAlgo is the Karnin–Lang–Liberty sketch, the algorithm behind the
+	// Yahoo DataSketches library the paper's prototype uses.
+	KLLAlgo
+)
+
+// BuildQuantile constructs a quantizer with at most q buckets from the
+// given values, using a GK quantile sketch of the given summary size
+// (the paper's m, default 128). It returns an error if values is empty.
+func BuildQuantile(values []float64, q, sketchSize int) (*Quantile, error) {
+	return BuildQuantileAlgo(values, q, sketchSize, GKAlgo, 0)
+}
+
+// BuildQuantileAlgo is BuildQuantile with an explicit sketch algorithm.
+// The seed only matters for KLLAlgo (its compaction is randomized).
+func BuildQuantileAlgo(values []float64, q, sketchSize int, algo SketchAlgo, seed int64) (*Quantile, error) {
+	if len(values) == 0 {
+		return nil, errors.New("quantizer: no values")
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("quantizer: q=%d < 1", q)
+	}
+	if sketchSize < 2 {
+		sketchSize = 2
+	}
+	var sk quantile.Sketch
+	switch algo {
+	case GKAlgo:
+		sk = quantile.NewWithSize(sketchSize)
+	case KLLAlgo:
+		if sketchSize < 8 {
+			sketchSize = 8
+		}
+		sk = quantile.NewKLL(sketchSize, seed)
+	default:
+		return nil, fmt.Errorf("quantizer: unknown sketch algorithm %d", algo)
+	}
+	sk.InsertAll(values)
+	splits, err := sk.Splits(q)
+	if err != nil {
+		return nil, err
+	}
+	return NewQuantileFromSplits(splits)
+}
+
+// NewQuantileFromSplits constructs a quantizer directly from q+1
+// non-decreasing split points (as decoded from the wire).
+func NewQuantileFromSplits(splits []float64) (*Quantile, error) {
+	if len(splits) < 2 {
+		return nil, fmt.Errorf("quantizer: need >= 2 splits, have %d", len(splits))
+	}
+	for i := 1; i < len(splits); i++ {
+		if splits[i] < splits[i-1] {
+			return nil, fmt.Errorf("quantizer: splits not non-decreasing at %d", i)
+		}
+	}
+	q := len(splits) - 1
+	means := make([]float64, q)
+	for i := 0; i < q; i++ {
+		means[i] = (splits[i] + splits[i+1]) / 2
+	}
+	return &Quantile{splits: splits, means: means}, nil
+}
+
+// NumBuckets returns q.
+func (z *Quantile) NumBuckets() int { return len(z.means) }
+
+// Splits returns the split points (do not mutate).
+func (z *Quantile) Splits() []float64 { return z.splits }
+
+// Means returns the bucket means (do not mutate).
+func (z *Quantile) Means() []float64 { return z.means }
+
+// Bucket returns the bucket index for v. Values below the first split clamp
+// to bucket 0 and values above the last split clamp to the final bucket
+// (they can occur because sketch splits are approximate).
+func (z *Quantile) Bucket(v float64) int {
+	// Find the first split strictly greater than v; the bucket is one less.
+	i := sort.SearchFloat64s(z.splits, v)
+	// SearchFloat64s returns the first index with splits[i] >= v.
+	if i == len(z.splits) {
+		return len(z.means) - 1
+	}
+	if z.splits[i] == v {
+		// v sits exactly on a split: it belongs to the bucket starting at v,
+		// except at the very top where it falls into the last bucket.
+		if i == len(z.means) {
+			return len(z.means) - 1
+		}
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Mean returns the decoded value for bucket index i (clamped to range).
+func (z *Quantile) Mean(i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(z.means) {
+		i = len(z.means) - 1
+	}
+	return z.means[i]
+}
+
+// Encode quantizes v to its bucket mean.
+func (z *Quantile) Encode(v float64) float64 { return z.means[z.Bucket(v)] }
+
+// Signed quantizes positive and negative values with independent quantile
+// quantizers over magnitudes, implementing the paper's positive/negative
+// separation. Buckets are ordered by magnitude: bucket 0 of either sign is
+// the one closest to zero, so MinMaxSketch's min-insert decay always moves
+// a decoded value toward zero and never across it.
+type Signed struct {
+	pos *Quantile // over positive values
+	neg *Quantile // over |negative values|
+}
+
+// BuildSigned constructs the pair of quantizers. Zero values (which should
+// not occur in a sparse gradient) are routed to the positive side. Either
+// side may be nil when no values of that sign exist.
+func BuildSigned(values []float64, q, sketchSize int) (*Signed, error) {
+	if len(values) == 0 {
+		return nil, errors.New("quantizer: no values")
+	}
+	var pos, neg []float64
+	for _, v := range values {
+		if v >= 0 {
+			pos = append(pos, v)
+		} else {
+			neg = append(neg, -v)
+		}
+	}
+	s := &Signed{}
+	var err error
+	if len(pos) > 0 {
+		if s.pos, err = BuildQuantile(pos, q, sketchSize); err != nil {
+			return nil, err
+		}
+	}
+	if len(neg) > 0 {
+		if s.neg, err = BuildQuantile(neg, q, sketchSize); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NewSignedFromSplits rebuilds a Signed from wire-format split slices;
+// either may be empty.
+func NewSignedFromSplits(posSplits, negSplits []float64) (*Signed, error) {
+	s := &Signed{}
+	var err error
+	if len(posSplits) > 0 {
+		if s.pos, err = NewQuantileFromSplits(posSplits); err != nil {
+			return nil, err
+		}
+	}
+	if len(negSplits) > 0 {
+		if s.neg, err = NewQuantileFromSplits(negSplits); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Pos returns the positive-side quantizer (may be nil).
+func (s *Signed) Pos() *Quantile { return s.pos }
+
+// Neg returns the negative-side (magnitude) quantizer (may be nil).
+func (s *Signed) Neg() *Quantile { return s.neg }
+
+// Bucket returns (negative?, magnitude-ordered bucket index) for v.
+func (s *Signed) Bucket(v float64) (neg bool, idx int) {
+	if v >= 0 {
+		if s.pos == nil {
+			return false, 0
+		}
+		return false, s.pos.Bucket(v)
+	}
+	if s.neg == nil {
+		return true, 0
+	}
+	return true, s.neg.Bucket(-v)
+}
+
+// Mean decodes (neg, idx) back to a signed value.
+func (s *Signed) Mean(neg bool, idx int) float64 {
+	if neg {
+		if s.neg == nil {
+			return 0
+		}
+		return -s.neg.Mean(idx)
+	}
+	if s.pos == nil {
+		return 0
+	}
+	return s.pos.Mean(idx)
+}
+
+// Encode quantizes v preserving its sign.
+func (s *Signed) Encode(v float64) float64 {
+	neg, idx := s.Bucket(v)
+	return s.Mean(neg, idx)
+}
+
+// Uniform is the ZipML-style fixed-point quantizer: the range [min, max] is
+// divided into levels equal-WIDTH steps.
+type Uniform struct {
+	min, max float64
+	levels   int
+}
+
+// BuildUniform constructs a uniform quantizer spanning the observed value
+// range with the given number of levels (256 for 8-bit, 65536 for 16-bit).
+func BuildUniform(values []float64, levels int) (*Uniform, error) {
+	if len(values) == 0 {
+		return nil, errors.New("quantizer: no values")
+	}
+	if levels < 2 {
+		return nil, fmt.Errorf("quantizer: levels=%d < 2", levels)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return NewUniform(lo, hi, levels)
+}
+
+// NewUniform constructs a uniform quantizer over [min, max].
+func NewUniform(min, max float64, levels int) (*Uniform, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("quantizer: levels=%d < 2", levels)
+	}
+	if !(min <= max) {
+		return nil, fmt.Errorf("quantizer: invalid range [%v, %v]", min, max)
+	}
+	return &Uniform{min: min, max: max, levels: levels}, nil
+}
+
+// Levels returns the number of quantization levels.
+func (u *Uniform) Levels() int { return u.levels }
+
+// Range returns the covered [min, max].
+func (u *Uniform) Range() (float64, float64) { return u.min, u.max }
+
+// Bucket maps v to its level index, clamped into [0, levels).
+func (u *Uniform) Bucket(v float64) int {
+	if u.max == u.min {
+		return 0
+	}
+	idx := int(math.Round((v - u.min) / (u.max - u.min) * float64(u.levels-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= u.levels {
+		idx = u.levels - 1
+	}
+	return idx
+}
+
+// Mean decodes level index i back to a value.
+func (u *Uniform) Mean(i int) float64 {
+	if u.max == u.min {
+		return u.min
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= u.levels {
+		i = u.levels - 1
+	}
+	return u.min + float64(i)*(u.max-u.min)/float64(u.levels-1)
+}
+
+// Encode quantizes v to the nearest level value.
+func (u *Uniform) Encode(v float64) float64 { return u.Mean(u.Bucket(v)) }
+
+// OneBit is the 1-bit SGD baseline: each value collapses to
+// sign(v) * mean(|values|).
+type OneBit struct {
+	scale float64
+}
+
+// BuildOneBit constructs the quantizer from the mean magnitude of values.
+func BuildOneBit(values []float64) (*OneBit, error) {
+	if len(values) == 0 {
+		return nil, errors.New("quantizer: no values")
+	}
+	var sum float64
+	for _, v := range values {
+		sum += math.Abs(v)
+	}
+	return &OneBit{scale: sum / float64(len(values))}, nil
+}
+
+// Scale returns the magnitude every value decodes to.
+func (o *OneBit) Scale() float64 { return o.scale }
+
+// Encode reduces v to ±scale.
+func (o *OneBit) Encode(v float64) float64 {
+	if v < 0 {
+		return -o.scale
+	}
+	return o.scale
+}
+
+// MSE reports the mean squared quantization error of applying encode to
+// every value — the quantity bounded by Theorem A.2 and the measure used by
+// the quantile-vs-uniform ablation bench.
+func MSE(values []float64, encode func(float64) float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		d := v - encode(v)
+		s += d * d
+	}
+	return s / float64(len(values))
+}

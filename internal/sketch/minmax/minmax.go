@@ -1,0 +1,348 @@
+// Package minmax implements MinMaxSketch, the new sketch algorithm proposed
+// by SketchML (Section 3.3) for compressing the bucket indexes produced by
+// quantile-bucket quantification.
+//
+// A MinMaxSketch looks like a Count-Min sketch — s hash tables of t bins —
+// but resolves hash collisions entirely differently. Frequency sketches add
+// on insert and take the minimum on query, which can only overestimate;
+// overestimated bucket indexes decode to amplified gradients and make SGD
+// diverge. MinMaxSketch instead stores values:
+//
+//   - Insert keeps the MINIMUM bucket index ever hashed into a bin, so a
+//     collision can only decay the stored index (Theorem A.4: each bin holds
+//     exactly the minimum index among the keys that map to it).
+//   - Query returns the MAXIMUM candidate across the s rows, the one closest
+//     to the original value given that every candidate is an underestimate.
+//
+// The result is one-sided, bounded error: queried indexes never exceed the
+// inserted index, so decoded gradients shrink but never grow or flip
+// direction (sign reversal is prevented separately by the codec's
+// positive/negative separation). The Grouped variant divides the q buckets
+// into r groups with an independent sketch per group, reducing the maximal
+// index error from q to q/r (Section 3.3, Solution 2).
+package minmax
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"sketchml/internal/hashing"
+)
+
+// Empty marks a bin that has never been written.
+const Empty = math.MaxUint16
+
+// MaxIndex is the largest storable bucket index.
+const MaxIndex = math.MaxUint16 - 1
+
+// Sketch is a single MinMaxSketch of rows hash tables with cols bins each.
+type Sketch struct {
+	rows, cols int
+	seed       uint64
+	cells      []uint16 // row-major; Empty means untouched
+	family     *hashing.Family
+	inserted   int
+}
+
+// New creates a MinMaxSketch with the given shape. All bins start Empty.
+func New(rows, cols int, seed uint64) *Sketch {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("minmax: invalid dimensions %dx%d", rows, cols))
+	}
+	s := &Sketch{
+		rows:   rows,
+		cols:   cols,
+		seed:   seed,
+		cells:  make([]uint16, rows*cols),
+		family: hashing.NewFamily(rows, cols, seed),
+	}
+	for i := range s.cells {
+		s.cells[i] = Empty
+	}
+	return s
+}
+
+// Rows returns the number of hash tables (the paper's s).
+func (s *Sketch) Rows() int { return s.rows }
+
+// Cols returns the number of bins per table (the paper's t).
+func (s *Sketch) Cols() int { return s.cols }
+
+// Inserted returns how many Insert calls the sketch has absorbed.
+func (s *Sketch) Inserted() int { return s.inserted }
+
+// Insert records (key, idx): in every row, the addressed bin keeps the
+// minimum of its current content and idx (the paper's Min protocol).
+func (s *Sketch) Insert(key uint64, idx uint16) {
+	if idx > MaxIndex {
+		panic(fmt.Sprintf("minmax: index %d exceeds MaxIndex", idx))
+	}
+	for r := 0; r < s.rows; r++ {
+		cell := &s.cells[r*s.cols+s.family.Index(r, key)]
+		if idx < *cell {
+			*cell = idx
+		}
+	}
+	s.inserted++
+}
+
+// Query returns the recovered bucket index for key: the maximum non-empty
+// candidate across rows (the paper's Max protocol). ok is false only when
+// every addressed bin is still Empty, which cannot happen for a key that
+// was inserted.
+//
+// For an inserted key the result never exceeds the inserted index
+// (one-sided underestimation).
+func (s *Sketch) Query(key uint64) (idx uint16, ok bool) {
+	best := uint16(Empty)
+	for r := 0; r < s.rows; r++ {
+		c := s.cells[r*s.cols+s.family.Index(r, key)]
+		if c == Empty {
+			continue
+		}
+		if best == Empty || c > best {
+			best = c
+		}
+	}
+	if best == Empty {
+		return 0, false
+	}
+	return best, true
+}
+
+// Reset empties every bin for reuse.
+func (s *Sketch) Reset() {
+	for i := range s.cells {
+		s.cells[i] = Empty
+	}
+	s.inserted = 0
+}
+
+// cellWidth returns the serialized bytes per bin for a given maximum index.
+func cellWidth(maxIdx int) int {
+	if maxIdx < 0xFF { // 0xFF reserved as the 1-byte Empty sentinel
+		return 1
+	}
+	return 2
+}
+
+// AppendBinary serializes the sketch, packing each bin into the fewest
+// bytes that can hold indexes up to maxIdx (the paper's
+// s×t×⌈log2(q)/8⌉-byte cost). maxIdx must cover every stored index.
+func (s *Sketch) AppendBinary(dst []byte, maxIdx int) ([]byte, error) {
+	if maxIdx < 0 || maxIdx > MaxIndex {
+		return nil, fmt.Errorf("minmax: maxIdx %d out of range", maxIdx)
+	}
+	w := cellWidth(maxIdx)
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(s.rows))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(s.cols))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(maxIdx))
+	hdr[12] = byte(w)
+	dst = append(dst, hdr[:]...)
+	for _, c := range s.cells {
+		switch w {
+		case 1:
+			if c == Empty {
+				dst = append(dst, 0xFF)
+			} else if int(c) > maxIdx {
+				return nil, fmt.Errorf("minmax: stored index %d exceeds declared max %d", c, maxIdx)
+			} else {
+				dst = append(dst, byte(c))
+			}
+		default:
+			if c != Empty && int(c) > maxIdx {
+				return nil, fmt.Errorf("minmax: stored index %d exceeds declared max %d", c, maxIdx)
+			}
+			dst = binary.LittleEndian.AppendUint16(dst, c)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBinary parses a sketch serialized by AppendBinary, re-deriving the
+// hash family from seed (the seed is agreed out of band by the codec and is
+// not part of the wire format). It returns the decoded sketch and the
+// number of bytes consumed.
+func DecodeBinary(data []byte, seed uint64) (*Sketch, int, error) {
+	if len(data) < 13 {
+		return nil, 0, errors.New("minmax: truncated header")
+	}
+	rows := int(binary.LittleEndian.Uint32(data[0:]))
+	cols := int(binary.LittleEndian.Uint32(data[4:]))
+	w := int(data[12])
+	if rows <= 0 || cols <= 0 || rows > 1<<16 || cols > 1<<30 {
+		return nil, 0, fmt.Errorf("minmax: implausible dimensions %dx%d", rows, cols)
+	}
+	if w != 1 && w != 2 {
+		return nil, 0, fmt.Errorf("minmax: bad cell width %d", w)
+	}
+	need := 13 + rows*cols*w
+	if len(data) < need {
+		return nil, 0, fmt.Errorf("minmax: need %d bytes, have %d", need, len(data))
+	}
+	s := New(rows, cols, seed)
+	body := data[13:need]
+	for i := range s.cells {
+		if w == 1 {
+			b := body[i]
+			if b == 0xFF {
+				s.cells[i] = Empty
+			} else {
+				s.cells[i] = uint16(b)
+			}
+		} else {
+			s.cells[i] = binary.LittleEndian.Uint16(body[i*2:])
+		}
+	}
+	return s, need, nil
+}
+
+// SizeBytes returns the serialized size for a given maximum index.
+func (s *Sketch) SizeBytes(maxIdx int) int {
+	return 13 + s.rows*s.cols*cellWidth(maxIdx)
+}
+
+// Grouped divides numBuckets bucket indexes into numGroups contiguous
+// groups — [0, q/r), [q/r, 2q/r), … — with an independent MinMaxSketch per
+// group storing group-relative indexes. This caps the worst-case decoded
+// index error at q/r instead of q (Section 3.3, "Grouped MinMaxSketch").
+//
+// The caller is responsible for remembering which group each key went to
+// (SketchML transmits per-group key lists, see internal/codec).
+type Grouped struct {
+	groups          []*Sketch
+	numBuckets      int
+	bucketsPerGroup int
+}
+
+// NewGrouped creates numGroups sketches of rows × ceil(totalCols/numGroups)
+// bins each, covering bucket indexes [0, numBuckets).
+func NewGrouped(rows, totalCols, numBuckets, numGroups int, seed uint64) *Grouped {
+	if numGroups <= 0 || numBuckets <= 0 {
+		panic(fmt.Sprintf("minmax: invalid buckets=%d groups=%d", numBuckets, numGroups))
+	}
+	if numGroups > numBuckets {
+		numGroups = numBuckets
+	}
+	colsPer := (totalCols + numGroups - 1) / numGroups
+	if colsPer < 1 {
+		colsPer = 1
+	}
+	g := &Grouped{
+		groups:          make([]*Sketch, numGroups),
+		numBuckets:      numBuckets,
+		bucketsPerGroup: (numBuckets + numGroups - 1) / numGroups,
+	}
+	for i := range g.groups {
+		// Each group gets an independent hash family via a derived seed.
+		g.groups[i] = New(rows, colsPer, hashing.Mix64(uint64(i), seed))
+	}
+	return g
+}
+
+// NumGroups returns the number of group sketches (the paper's r).
+func (g *Grouped) NumGroups() int { return len(g.groups) }
+
+// BucketsPerGroup returns how many bucket indexes map to one group.
+func (g *Grouped) BucketsPerGroup() int { return g.bucketsPerGroup }
+
+// GroupOf returns the group that bucket belongs to.
+func (g *Grouped) GroupOf(bucket int) int {
+	if bucket < 0 || bucket >= g.numBuckets {
+		panic(fmt.Sprintf("minmax: bucket %d out of [0,%d)", bucket, g.numBuckets))
+	}
+	return bucket / g.bucketsPerGroup
+}
+
+// Insert records (key, bucket) into the bucket's group sketch and returns
+// the group index the key was routed to.
+func (g *Grouped) Insert(key uint64, bucket int) int {
+	grp := g.GroupOf(bucket)
+	g.groups[grp].Insert(key, uint16(bucket-grp*g.bucketsPerGroup))
+	return grp
+}
+
+// Query recovers the bucket index of key, which is known (from the wire
+// format's per-group key lists) to live in group grp.
+func (g *Grouped) Query(grp int, key uint64) (bucket int, ok bool) {
+	if grp < 0 || grp >= len(g.groups) {
+		return 0, false
+	}
+	rel, ok := g.groups[grp].Query(key)
+	if !ok {
+		return 0, false
+	}
+	b := grp*g.bucketsPerGroup + int(rel)
+	if b >= g.numBuckets {
+		b = g.numBuckets - 1
+	}
+	return b, true
+}
+
+// MaxError returns the worst-case decoded index error, q/r.
+func (g *Grouped) MaxError() int { return g.bucketsPerGroup }
+
+// AppendBinary serializes every group sketch.
+func (g *Grouped) AppendBinary(dst []byte) ([]byte, error) {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(g.groups)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.numBuckets))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(g.bucketsPerGroup))
+	dst = append(dst, hdr[:]...)
+	var err error
+	for _, s := range g.groups {
+		dst, err = s.AppendBinary(dst, g.bucketsPerGroup-1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeGrouped parses a Grouped serialized by AppendBinary. Group seeds
+// are re-derived from seed exactly as NewGrouped does.
+func DecodeGrouped(data []byte, seed uint64) (*Grouped, int, error) {
+	if len(data) < 12 {
+		return nil, 0, errors.New("minmax: truncated grouped header")
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:]))
+	numBuckets := int(binary.LittleEndian.Uint32(data[4:]))
+	bpg := int(binary.LittleEndian.Uint32(data[8:]))
+	if n <= 0 || n > 1<<16 || numBuckets <= 0 || bpg <= 0 {
+		return nil, 0, fmt.Errorf("minmax: implausible grouped header n=%d q=%d bpg=%d", n, numBuckets, bpg)
+	}
+	g := &Grouped{
+		groups:          make([]*Sketch, n),
+		numBuckets:      numBuckets,
+		bucketsPerGroup: bpg,
+	}
+	off := 12
+	for i := 0; i < n; i++ {
+		s, used, err := DecodeBinary(data[off:], hashing.Mix64(uint64(i), seed))
+		if err != nil {
+			return nil, 0, fmt.Errorf("minmax: group %d: %w", i, err)
+		}
+		g.groups[i] = s
+		off += used
+	}
+	return g, off, nil
+}
+
+// SizeBytes returns the total serialized size.
+func (g *Grouped) SizeBytes() int {
+	total := 12
+	for _, s := range g.groups {
+		total += s.SizeBytes(g.bucketsPerGroup - 1)
+	}
+	return total
+}
+
+// Reset empties every group sketch.
+func (g *Grouped) Reset() {
+	for _, s := range g.groups {
+		s.Reset()
+	}
+}

@@ -1,0 +1,318 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKLLEmpty(t *testing.T) {
+	s := NewKLL(128, 1)
+	if _, err := s.Query(0.5); err == nil {
+		t.Error("Query on empty sketch should error")
+	}
+	if _, err := s.Splits(4); err == nil {
+		t.Error("Splits on empty sketch should error")
+	}
+}
+
+func TestKLLSingleValue(t *testing.T) {
+	s := NewKLL(128, 1)
+	s.Insert(7.5)
+	for _, phi := range []float64{0, 0.5, 1} {
+		if got := s.MustQuery(phi); got != 7.5 {
+			t.Errorf("Query(%v) = %v", phi, got)
+		}
+	}
+}
+
+func TestKLLExactExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewKLL(64, 2)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 50000; i++ {
+		v := rng.NormFloat64()
+		s.Insert(v)
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if s.MustQuery(0) != lo || s.MustQuery(1) != hi {
+		t.Error("extremes not exact")
+	}
+}
+
+func TestKLLAccuracy(t *testing.T) {
+	for name, gen := range map[string]func(*rand.Rand) float64{
+		"uniform": func(r *rand.Rand) float64 { return r.Float64() },
+		"normal":  func(r *rand.Rand) float64 { return r.NormFloat64() },
+		"gradient-like": func(r *rand.Rand) float64 {
+			v := r.ExpFloat64() * 0.01
+			if r.Intn(2) == 0 {
+				v = -v
+			}
+			return v
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			s := NewKLL(256, 4)
+			xs := make([]float64, 60000)
+			for i := range xs {
+				xs[i] = gen(rng)
+				s.Insert(xs[i])
+			}
+			sort.Float64s(xs)
+			n := float64(len(xs))
+			for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				got := s.MustQuery(phi)
+				r := float64(trueRank(xs, got))
+				// KLL with k=256 should land well within 2% rank error.
+				if math.Abs(r-phi*n) > 0.02*n {
+					lo := float64(sort.SearchFloat64s(xs, got)) + 1
+					if phi*n >= lo && phi*n <= r {
+						continue
+					}
+					t.Errorf("phi=%.2f: rank %v, want within %v of %v", phi, r, 0.02*n, phi*n)
+				}
+			}
+		})
+	}
+}
+
+func TestKLLSpaceBounded(t *testing.T) {
+	s := NewKLL(128, 5)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500000; i++ {
+		s.Insert(rng.NormFloat64())
+	}
+	// O(k log(n/k)): for k=128, n=5e5, a loose practical ceiling.
+	if got := s.Retained(); got > 2000 {
+		t.Errorf("retained %d items, want O(k log(n/k))", got)
+	}
+	if s.Count() != 500000 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestKLLSplitsEqualPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewKLL(256, 8)
+	xs := make([]float64, 40000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+		s.Insert(xs[i])
+	}
+	sort.Float64s(xs)
+	const q = 8
+	splits, err := s.Splits(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != q+1 {
+		t.Fatalf("%d splits", len(splits))
+	}
+	want := float64(len(xs)) / q
+	for i := 0; i < q; i++ {
+		lo := trueRank(xs, splits[i])
+		if i == 0 {
+			lo = 0
+		}
+		hi := trueRank(xs, splits[i+1])
+		if math.Abs(float64(hi-lo)-want) > 0.25*want {
+			t.Errorf("bucket %d population %d, want ~%.0f", i, hi-lo, want)
+		}
+	}
+}
+
+func TestKLLMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := NewKLL(128, 10), NewKLL(128, 11)
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		v := rng.NormFloat64()
+		a.Insert(v)
+		all = append(all, v)
+	}
+	for i := 0; i < 20000; i++ {
+		v := rng.NormFloat64() + 3
+		b.Insert(v)
+		all = append(all, v)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Count() != 40000 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	sort.Float64s(all)
+	n := float64(len(all))
+	med := a.MustQuery(0.5)
+	if r := float64(trueRank(all, med)); math.Abs(r-0.5*n) > 0.03*n {
+		t.Errorf("merged median rank %v, want ~%v", r, 0.5*n)
+	}
+	// b unchanged.
+	if b.Count() != 20000 {
+		t.Error("Merge mutated source")
+	}
+}
+
+func TestKLLReset(t *testing.T) {
+	s := NewKLL(64, 12)
+	for i := 0; i < 1000; i++ {
+		s.Insert(float64(i))
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Retained() != 0 {
+		t.Error("Reset incomplete")
+	}
+	s.Insert(5)
+	if s.MustQuery(0.5) != 5 {
+		t.Error("sketch unusable after Reset")
+	}
+}
+
+func TestKLLDeterministicPerSeed(t *testing.T) {
+	build := func(seed int64) *KLL {
+		s := NewKLL(64, seed)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 30000; i++ {
+			s.Insert(rng.NormFloat64())
+		}
+		return s
+	}
+	a, b := build(1), build(1)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if a.MustQuery(phi) != b.MustQuery(phi) {
+			t.Fatal("same seed, different answers")
+		}
+	}
+}
+
+func TestKLLPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewKLL(2) should panic")
+			}
+		}()
+		NewKLL(2, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NaN insert should panic")
+			}
+		}()
+		NewKLL(64, 0).Insert(math.NaN())
+	}()
+}
+
+func TestGKAndKLLAgree(t *testing.T) {
+	// Both sketches should land close to the true quantiles of the same
+	// stream — a cross-validation of the two implementations.
+	rng := rand.New(rand.NewSource(13))
+	gk := New(0.005)
+	kll := NewKLL(256, 14)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 0.1
+		gk.Insert(xs[i])
+		kll.Insert(xs[i])
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		g := float64(trueRank(xs, gk.MustQuery(phi)))
+		k := float64(trueRank(xs, kll.MustQuery(phi)))
+		if math.Abs(g-k) > 0.03*n {
+			t.Errorf("phi=%v: GK rank %v and KLL rank %v disagree", phi, g, k)
+		}
+	}
+}
+
+func BenchmarkKLLInsert(b *testing.B) {
+	s := NewKLL(128, 1)
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkKLLSplits256(b *testing.B) {
+	s := NewKLL(256, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		s.Insert(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Splits(256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRankQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	gk := New(0.01)
+	kll := NewKLL(256, 22)
+	xs := make([]float64, 40000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		gk.Insert(xs[i])
+		kll.Insert(xs[i])
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	for _, v := range []float64{-2, -1, 0, 0.5, 1.5} {
+		truth := float64(trueRank(xs, v)) / n
+		for name, rank := range map[string]func(float64) (float64, error){
+			"GK": gk.Rank, "KLL": kll.Rank,
+		} {
+			got, err := rank(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-truth) > 0.02 {
+				t.Errorf("%s Rank(%v) = %.4f, truth %.4f", name, v, got, truth)
+			}
+		}
+	}
+	// Rank and Query are approximate inverses.
+	med := gk.MustQuery(0.5)
+	if r, _ := gk.Rank(med); math.Abs(r-0.5) > 0.03 {
+		t.Errorf("GK Rank(Query(0.5)) = %v", r)
+	}
+}
+
+func TestRankEmpty(t *testing.T) {
+	if _, err := New(0.1).Rank(0); err == nil {
+		t.Error("GK Rank on empty should error")
+	}
+	if _, err := NewKLL(64, 1).Rank(0); err == nil {
+		t.Error("KLL Rank on empty should error")
+	}
+}
+
+func TestRankExtremes(t *testing.T) {
+	gk := New(0.05)
+	kll := NewKLL(64, 2)
+	for i := 1; i <= 100; i++ {
+		gk.Insert(float64(i))
+		kll.Insert(float64(i))
+	}
+	for name, rank := range map[string]func(float64) (float64, error){
+		"GK": gk.Rank, "KLL": kll.Rank,
+	} {
+		if r, _ := rank(0); r != 0 {
+			t.Errorf("%s Rank(below min) = %v, want 0", name, r)
+		}
+		if r, _ := rank(1000); r != 1 {
+			t.Errorf("%s Rank(above max) = %v, want 1", name, r)
+		}
+	}
+}

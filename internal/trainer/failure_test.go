@@ -1,0 +1,175 @@
+package trainer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sketchml/internal/codec"
+	"sketchml/internal/gradient"
+	"sketchml/internal/model"
+)
+
+// faultyCodec wraps a working codec and starts failing after `failAfter`
+// operations, simulating a mid-training fault.
+type faultyCodec struct {
+	inner      codec.Codec
+	failAfter  int
+	ops        int
+	failEncode bool
+	failDecode bool
+}
+
+func (f *faultyCodec) Name() string { return "faulty" }
+
+func (f *faultyCodec) Encode(g *gradient.Sparse) ([]byte, error) {
+	f.ops++
+	if f.failEncode && f.ops > f.failAfter {
+		return nil, errors.New("injected encode fault")
+	}
+	return f.inner.Encode(g)
+}
+
+func (f *faultyCodec) Decode(data []byte) (*gradient.Sparse, error) {
+	f.ops++
+	if f.failDecode && f.ops > f.failAfter {
+		return nil, errors.New("injected decode fault")
+	}
+	return f.inner.Decode(data)
+}
+
+// corruptingCodec emits valid-looking but truncated messages after a while,
+// so the RECEIVER's decode fails rather than the sender's encode.
+type corruptingCodec struct {
+	inner codec.Codec
+	ops   int
+	after int
+}
+
+func (c *corruptingCodec) Name() string { return "corrupting" }
+
+func (c *corruptingCodec) Encode(g *gradient.Sparse) ([]byte, error) {
+	msg, err := c.inner.Encode(g)
+	if err != nil {
+		return nil, err
+	}
+	c.ops++
+	if c.ops > c.after && len(msg) > 4 {
+		return msg[:len(msg)/2], nil
+	}
+	return msg, nil
+}
+
+func (c *corruptingCodec) Decode(data []byte) (*gradient.Sparse, error) {
+	return c.inner.Decode(data)
+}
+
+// runWithTimeout guards against the failure modes hanging the trainer.
+func runWithTimeout(t *testing.T, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("training hung after injected fault")
+		return nil
+	}
+}
+
+func TestEncodeFaultPropagates(t *testing.T) {
+	train, test := smallData(t)
+	err := runWithTimeout(t, func() error {
+		_, err := Run(Config{
+			Model: model.LogisticRegression{},
+			CodecFactory: func() codec.Codec {
+				return &faultyCodec{inner: &codec.Raw{}, failAfter: 5, failEncode: true}
+			},
+			Optimizer: adamFactory(0.1),
+			Workers:   3, Epochs: 2, Seed: 1,
+		}, train, test)
+		return err
+	})
+	if err == nil {
+		t.Fatal("injected encode fault was swallowed")
+	}
+	if !strings.Contains(err.Error(), "fault") && !strings.Contains(err.Error(), "recv") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestDecodeFaultPropagates(t *testing.T) {
+	train, test := smallData(t)
+	err := runWithTimeout(t, func() error {
+		_, err := Run(Config{
+			Model: model.LogisticRegression{},
+			CodecFactory: func() codec.Codec {
+				return &faultyCodec{inner: &codec.Raw{}, failAfter: 5, failDecode: true}
+			},
+			Optimizer: adamFactory(0.1),
+			Workers:   3, Epochs: 2, Seed: 1,
+		}, train, test)
+		return err
+	})
+	if err == nil {
+		t.Fatal("injected decode fault was swallowed")
+	}
+}
+
+func TestCorruptMessagePropagates(t *testing.T) {
+	// Truncated wire bytes must surface as a decode error at the receiver,
+	// not a panic or a silent bad gradient.
+	train, test := smallData(t)
+	err := runWithTimeout(t, func() error {
+		_, err := Run(Config{
+			Model: model.LogisticRegression{},
+			CodecFactory: func() codec.Codec {
+				return &corruptingCodec{inner: codec.MustSketchML(codec.DefaultOptions()), after: 4}
+			},
+			Optimizer: adamFactory(0.1),
+			Workers:   2, Epochs: 2, Seed: 1,
+		}, train, test)
+		return err
+	})
+	if err == nil {
+		t.Fatal("corrupted message was accepted")
+	}
+}
+
+func TestPSFaultPropagates(t *testing.T) {
+	train, test := smallData(t)
+	err := runWithTimeout(t, func() error {
+		_, err := RunPS(Config{
+			Model: model.LogisticRegression{},
+			CodecFactory: func() codec.Codec {
+				return &faultyCodec{inner: &codec.Raw{}, failAfter: 10, failEncode: true}
+			},
+			Optimizer: adamFactory(0.1),
+			Workers:   3, Epochs: 2, Seed: 1,
+		}, 2, train, test)
+		return err
+	})
+	if err == nil {
+		t.Fatal("PS swallowed injected fault")
+	}
+}
+
+func TestSSPFaultPropagates(t *testing.T) {
+	train, test := smallData(t)
+	err := runWithTimeout(t, func() error {
+		_, err := RunSSP(Config{
+			Model: model.LogisticRegression{},
+			CodecFactory: func() codec.Codec {
+				return &faultyCodec{inner: &codec.Raw{}, failAfter: 10, failDecode: true}
+			},
+			Optimizer: adamFactory(0.1),
+			Workers:   3, Epochs: 2, Seed: 1,
+		}, 1, nil, train, test)
+		return err
+	})
+	if err == nil {
+		t.Fatal("SSP swallowed injected fault")
+	}
+}

@@ -1,0 +1,167 @@
+package trainer
+
+import (
+	"testing"
+
+	"sketchml/internal/codec"
+	"sketchml/internal/gradient"
+	"sketchml/internal/model"
+)
+
+func TestSplitByRange(t *testing.T) {
+	g := gradient.FromMap(100, map[uint64]float64{
+		0: 1, 10: 2, 24: 3, 25: 4, 50: 5, 99: 6,
+	})
+	parts := splitByRange(g, []uint64{0, 25, 50, 100})
+	if len(parts) != 3 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	wantKeys := [][]uint64{{0, 10, 24}, {25}, {50, 99}}
+	for s, part := range parts {
+		if part.Dim != 100 {
+			t.Errorf("part %d lost Dim", s)
+		}
+		if len(part.Keys) != len(wantKeys[s]) {
+			t.Fatalf("part %d has keys %v, want %v", s, part.Keys, wantKeys[s])
+		}
+		for i, k := range wantKeys[s] {
+			if part.Keys[i] != k {
+				t.Fatalf("part %d key %d = %d, want %d", s, i, part.Keys[i], k)
+			}
+		}
+	}
+	// Union of parts == original.
+	total := 0
+	for _, p := range parts {
+		total += p.NNZ()
+	}
+	if total != g.NNZ() {
+		t.Errorf("parts hold %d entries, want %d", total, g.NNZ())
+	}
+}
+
+func TestRunPSConverges(t *testing.T) {
+	train, test := smallData(t)
+	for _, servers := range []int{1, 4} {
+		res, err := RunPS(Config{
+			Model:     model.LogisticRegression{},
+			Codec:     codec.MustSketchML(codec.DefaultOptions()),
+			Optimizer: adamFactory(0.1),
+			Workers:   4,
+			Epochs:    3,
+			Lambda:    0.01,
+			Seed:      3,
+		}, servers, train, test)
+		if err != nil {
+			t.Fatalf("servers=%d: %v", servers, err)
+		}
+		if res.FinalAccuracy < 0.6 {
+			t.Errorf("servers=%d: accuracy %.2f", servers, res.FinalAccuracy)
+		}
+		if res.Epochs[0].TestLoss <= res.FinalLoss {
+			t.Errorf("servers=%d: loss did not decrease", servers)
+		}
+	}
+}
+
+func TestRunPSMatchesDriverLossWithLosslessCodec(t *testing.T) {
+	// With a lossless codec, sharding the key space must not change the
+	// applied updates: PS with any server count and the driver topology
+	// aggregate identical gradients.
+	train, test := smallData(t)
+	cfg := Config{
+		Model:     model.LogisticRegression{},
+		Codec:     &codec.Raw{},
+		Optimizer: adamFactory(0.1),
+		Workers:   3,
+		Epochs:    2,
+		Lambda:    0.01,
+		Seed:      5,
+	}
+	ps1, err := RunPS(cfg, 1, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps4, err := RunPS(cfg, 4, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps1.FinalLoss != ps4.FinalLoss {
+		t.Errorf("server count changed lossless training: %v vs %v",
+			ps1.FinalLoss, ps4.FinalLoss)
+	}
+	driver, err := Run(cfg, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ps1.FinalLoss - driver.FinalLoss; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("PS (%v) and driver (%v) diverge with a lossless codec",
+			ps1.FinalLoss, driver.FinalLoss)
+	}
+}
+
+func TestRunPSDividesBottleneckLink(t *testing.T) {
+	// The point of the topology: with uncompressed gradients at many
+	// workers, 4 parallel server links beat the single driver link.
+	train, test := smallData(t)
+	cfg := Config{
+		Model:     model.LogisticRegression{},
+		Codec:     &codec.Raw{},
+		Optimizer: adamFactory(0.1),
+		Workers:   16,
+		Epochs:    2,
+		Lambda:    0.01,
+		Seed:      7,
+	}
+	one, err := RunPS(cfg, 1, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunPS(cfg, 4, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.AvgEpochSimTime() >= one.AvgEpochSimTime() {
+		t.Errorf("4 servers (%v) should beat 1 server (%v) on simulated time",
+			four.AvgEpochSimTime(), one.AvgEpochSimTime())
+	}
+}
+
+func TestRunPSWithStatefulCodec(t *testing.T) {
+	train, test := smallData(t)
+	res, err := RunPS(Config{
+		Model: model.LogisticRegression{},
+		CodecFactory: func() codec.Codec {
+			return codec.NewErrorFeedback(&codec.TopK{Fraction: 0.5})
+		},
+		Optimizer: adamFactory(0.1),
+		Workers:   3,
+		Epochs:    2,
+		Lambda:    0.01,
+		Seed:      8,
+	}, 2, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.55 {
+		t.Errorf("accuracy %.2f", res.FinalAccuracy)
+	}
+}
+
+func TestRunPSValidation(t *testing.T) {
+	train, test := smallData(t)
+	if _, err := RunPS(Config{}, 2, train, test); err == nil {
+		t.Error("missing model accepted")
+	}
+	// servers < 1 clamps rather than failing.
+	res, err := RunPS(Config{
+		Model: model.SVM{}, Codec: &codec.Raw{},
+		Optimizer: adamFactory(0.1), Workers: 2, Epochs: 1, Seed: 1,
+	}, 0, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 1 {
+		t.Error("clamped run failed")
+	}
+}

@@ -1,0 +1,113 @@
+package trainer
+
+import (
+	"testing"
+
+	"sketchml/internal/codec"
+	"sketchml/internal/model"
+)
+
+func TestRunSSPConverges(t *testing.T) {
+	train, test := smallData(t)
+	for _, staleness := range []int{0, 3} {
+		res, err := RunSSP(Config{
+			Model:     model.LogisticRegression{},
+			Codec:     codec.MustSketchML(codec.DefaultOptions()),
+			Optimizer: adamFactory(0.1),
+			Workers:   4,
+			Epochs:    3,
+			Lambda:    0.01,
+			Seed:      1,
+		}, staleness, nil, train, test)
+		if err != nil {
+			t.Fatalf("staleness=%d: %v", staleness, err)
+		}
+		if len(res.Epochs) != 3 {
+			t.Fatalf("staleness=%d: %d epochs", staleness, len(res.Epochs))
+		}
+		if res.FinalAccuracy < 0.6 {
+			t.Errorf("staleness=%d: accuracy %.2f", staleness, res.FinalAccuracy)
+		}
+		// Untrained LR loss is ln 2 ≈ 0.693; training must clearly beat it.
+		if res.FinalLoss > 0.6 {
+			t.Errorf("staleness=%d: final loss %.4f, want < 0.6", staleness, res.FinalLoss)
+		}
+	}
+}
+
+func TestRunSSPStragglersHurtBSPMost(t *testing.T) {
+	// One 8x straggler among 4 workers. Total run time is straggler-bound
+	// under any staleness (every worker must finish its iterations), but
+	// UPDATE THROUGHPUT is not: with slack, the fast workers keep applying
+	// updates while the straggler grinds, so the first epoch's worth of
+	// global updates lands far sooner in virtual time. That earlier
+	// progress is SSP's entire point.
+	train, test := smallData(t)
+	speeds := []float64{1, 1, 1, 8}
+	firstEpochAt := func(staleness int) float64 {
+		res, err := RunSSP(Config{
+			Model:        model.LogisticRegression{},
+			Codec:        codec.MustSketchML(codec.DefaultOptions()),
+			Optimizer:    adamFactory(0.1),
+			Workers:      4,
+			Epochs:       2,
+			Lambda:       0.01,
+			Seed:         2,
+			ComputeScale: 1000, // make compute dominate so speeds matter
+		}, staleness, speeds, train, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Curve[0].Seconds
+	}
+	bsp := firstEpochAt(0)
+	ssp := firstEpochAt(50)
+	if ssp >= bsp*0.7 {
+		t.Errorf("with staleness 50 the first epoch of updates lands at %.3fs, want well before BSP's %.3fs", ssp, bsp)
+	}
+}
+
+func TestRunSSPStalenessBound(t *testing.T) {
+	// Instrument indirectly: with a huge straggler and staleness s, the
+	// fast workers can be at most s iterations ahead, so total virtual time
+	// is still gated by the straggler's progress. Check the run completes
+	// and yields exactly epochs*workers*rounds iterations worth of curve.
+	train, test := smallData(t)
+	res, err := RunSSP(Config{
+		Model:     model.SVM{},
+		Codec:     &codec.Raw{},
+		Optimizer: adamFactory(0.1),
+		Workers:   3,
+		Epochs:    2,
+		Seed:      3,
+	}, 2, []float64{1, 1, 50}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 2 {
+		t.Fatalf("%d curve points", len(res.Curve))
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].Seconds <= res.Curve[i-1].Seconds {
+			t.Error("virtual time not monotone")
+		}
+	}
+}
+
+func TestRunSSPValidation(t *testing.T) {
+	train, test := smallData(t)
+	if _, err := RunSSP(Config{}, 0, nil, train, test); err == nil {
+		t.Error("missing model accepted")
+	}
+	cfg := Config{Model: model.SVM{}, Codec: &codec.Raw{}, Optimizer: adamFactory(0.1), Workers: 2, Epochs: 1}
+	if _, err := RunSSP(cfg, 0, []float64{1}, train, test); err == nil {
+		t.Error("wrong speeds length accepted")
+	}
+	if _, err := RunSSP(cfg, 0, []float64{1, -1}, train, test); err == nil {
+		t.Error("negative speed accepted")
+	}
+	// Negative staleness clamps to 0.
+	if _, err := RunSSP(cfg, -5, nil, train, test); err != nil {
+		t.Errorf("negative staleness should clamp: %v", err)
+	}
+}

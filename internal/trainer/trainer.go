@@ -1,0 +1,516 @@
+// Package trainer implements the paper's distributed training loop: the
+// dataset is sharded over W workers, each worker computes a mini-batch
+// gradient on its shard, gradients travel (compressed by a pluggable codec)
+// to the driver, the driver aggregates and broadcasts the aggregate back,
+// and every replica applies the same optimizer step — the synchronous
+// Spark-style topology of Section 4.1.
+//
+// The trainer runs the real message flow (every byte passes through the
+// codec and a cluster.Conn) and meters compute, encode/decode CPU, and
+// traffic per epoch. Because the reproduction runs on one machine, epoch
+// times for cluster-scale configurations are additionally reported through
+// the cluster.NetworkModel cost model (see DESIGN.md, "Substitutions").
+package trainer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sketchml/internal/cluster"
+	"sketchml/internal/codec"
+	"sketchml/internal/dataset"
+	"sketchml/internal/gradient"
+	"sketchml/internal/model"
+	"sketchml/internal/optim"
+)
+
+// OptimizerFactory builds one optimizer instance per model replica. Every
+// replica must receive an identical configuration so that applying the same
+// aggregate gradients keeps replicas in sync.
+type OptimizerFactory func(dim uint64) optim.Optimizer
+
+// Config describes one training run.
+type Config struct {
+	Model model.Model
+	// Trainable overrides Model with a general trainable (e.g. model.FM).
+	// When nil, Model is wrapped via model.Wrap.
+	Trainable model.Trainable
+	// Codec compresses gradients in both directions. nil means codec.Raw.
+	Codec codec.Codec
+	// CodecFactory, when set, builds a fresh codec instance for every
+	// party (each worker and the driver) instead of sharing Codec. Required
+	// for stateful codecs such as codec.ErrorFeedback, whose residual is
+	// per-sender. Overrides Codec.
+	CodecFactory func() codec.Codec
+	// Optimizer builds per-replica optimizers; nil means Adam with LR 0.1.
+	Optimizer OptimizerFactory
+	// Workers is the number of executors (the paper's W). Minimum 1.
+	Workers int
+	// BatchFraction is the global mini-batch size as a fraction of the
+	// training set (the paper uses 0.1). Values <= 0 default to 0.1.
+	BatchFraction float64
+	// Epochs is the number of passes over the data. Minimum 1.
+	Epochs int
+	// Lambda is the ℓ2 regularization coefficient (paper: 0.01).
+	Lambda float64
+	// Seed drives batching shuffles.
+	Seed int64
+	// Network converts measured traffic into simulated epoch times.
+	// The zero value defaults to cluster.LabCluster().
+	Network cluster.NetworkModel
+	// UseTCP routes every message over loopback TCP instead of in-memory
+	// channels. Slower, but exercises the real network stack.
+	UseTCP bool
+	// ComputeScale multiplies the measured gradient-computation time inside
+	// the simulated epoch time (default 1). It calibrates the
+	// compute-to-communication ratio for workloads whose real counterparts
+	// are far more compute-heavy than our scaled-down substitutes — e.g. the
+	// paper's CTR dataset, where per-instance cost dominates (Section
+	// 4.3.2). Codec and network times are never scaled.
+	ComputeScale float64
+}
+
+// EpochStats reports one epoch of a run.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64 // mean batch loss observed during the epoch
+	TestLoss  float64 // unregularized test loss after the epoch
+	Accuracy  float64 // classification accuracy (0 for Linear)
+
+	Rounds    int
+	UpBytes   int64 // worker→driver traffic
+	DownBytes int64 // driver→worker traffic per worker (total/W)
+
+	ComputeTime time.Duration // summed worker gradient computation
+	EncodeTime  time.Duration // summed compression CPU (all parties)
+	DecodeTime  time.Duration // summed decompression CPU (all parties)
+
+	// SimTime estimates the epoch's wall time on the configured cluster:
+	// parallel compute + driver serial codec work + modeled network time.
+	SimTime time.Duration
+	// WallTime is the actually measured single-machine duration.
+	WallTime time.Duration
+}
+
+// CurvePoint is one point of the loss-vs-time convergence curve
+// (Figure 10): cumulative simulated seconds against test loss.
+type CurvePoint struct {
+	Seconds float64
+	Loss    float64
+}
+
+// Result aggregates a full run.
+type Result struct {
+	CodecName string
+	ModelName string
+	Workers   int
+	Epochs    []EpochStats
+	Curve     []CurvePoint
+	// FinalLoss is the last test loss; FinalAccuracy likewise.
+	FinalLoss     float64
+	FinalAccuracy float64
+}
+
+// AvgEpochSimTime returns the mean simulated epoch time.
+func (r *Result) AvgEpochSimTime() time.Duration {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, e := range r.Epochs {
+		total += e.SimTime
+	}
+	return total / time.Duration(len(r.Epochs))
+}
+
+// AvgUpBytesPerRound returns the mean worker→driver bytes per round, the
+// paper's "message size".
+func (r *Result) AvgUpBytesPerRound() float64 {
+	var bytes int64
+	rounds := 0
+	for _, e := range r.Epochs {
+		bytes += e.UpBytes
+		rounds += e.Rounds
+	}
+	if rounds == 0 {
+		return 0
+	}
+	return float64(bytes) / float64(rounds)
+}
+
+// AvgDownBytesPerRound returns the mean driver→worker broadcast bytes per
+// round (per worker) — the aggregated-gradient message size.
+func (r *Result) AvgDownBytesPerRound() float64 {
+	var bytes int64
+	rounds := 0
+	for _, e := range r.Epochs {
+		bytes += e.DownBytes
+		rounds += e.Rounds
+	}
+	if rounds == 0 {
+		return 0
+	}
+	return float64(bytes) / float64(rounds)
+}
+
+func (c *Config) fill() error {
+	if c.Trainable == nil {
+		if c.Model == nil {
+			return errors.New("trainer: Model or Trainable is required")
+		}
+		c.Trainable = model.Wrap(c.Model)
+	}
+	if c.CodecFactory != nil {
+		c.Codec = c.CodecFactory()
+	}
+	if c.Codec == nil {
+		c.Codec = &codec.Raw{}
+	}
+	if c.Optimizer == nil {
+		c.Optimizer = func(dim uint64) optim.Optimizer { return optim.NewAdam(0.1, dim) }
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.BatchFraction <= 0 || c.BatchFraction > 1 {
+		c.BatchFraction = 0.1
+	}
+	if c.Epochs < 1 {
+		c.Epochs = 1
+	}
+	if (c.Network == cluster.NetworkModel{}) {
+		c.Network = cluster.LabCluster()
+	}
+	if c.ComputeScale <= 0 {
+		c.ComputeScale = 1
+	}
+	return c.Network.Validate()
+}
+
+// workerReport carries a worker's accumulated timings to the driver.
+type workerReport struct {
+	computeNs int64
+	encodeNs  int64
+	decodeNs  int64
+	lossSum   float64
+	rounds    int64
+}
+
+func (w workerReport) marshal() []byte {
+	out := make([]byte, 0, 40)
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.computeNs))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.encodeNs))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.decodeNs))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(w.lossSum))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.rounds))
+	return out
+}
+
+func parseWorkerReport(data []byte) (workerReport, error) {
+	if len(data) != 40 {
+		return workerReport{}, fmt.Errorf("trainer: bad report size %d", len(data))
+	}
+	return workerReport{
+		computeNs: int64(binary.LittleEndian.Uint64(data[0:])),
+		encodeNs:  int64(binary.LittleEndian.Uint64(data[8:])),
+		decodeNs:  int64(binary.LittleEndian.Uint64(data[16:])),
+		lossSum:   math.Float64frombits(binary.LittleEndian.Uint64(data[24:])),
+		rounds:    int64(binary.LittleEndian.Uint64(data[32:])),
+	}, nil
+}
+
+// Run executes the configured training and returns per-epoch statistics.
+func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if train.N() == 0 {
+		return nil, errors.New("trainer: empty training set")
+	}
+	shards := train.Shard(cfg.Workers)
+	globalBatch := int(cfg.BatchFraction * float64(train.N()))
+	if globalBatch < cfg.Workers {
+		globalBatch = cfg.Workers
+	}
+	localBatch := globalBatch / cfg.Workers
+	if localBatch < 1 {
+		localBatch = 1
+	}
+	roundsPerEpoch := (shards[0].N() + localBatch - 1) / localBatch
+	if roundsPerEpoch < 1 {
+		roundsPerEpoch = 1
+	}
+	totalRounds := roundsPerEpoch * cfg.Epochs
+
+	// Wire the links.
+	driverSide := make([]*cluster.CountingConn, cfg.Workers)
+	workerSide := make([]cluster.Conn, cfg.Workers)
+	if cfg.UseTCP {
+		l, err := cluster.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer l.Close()
+		accepted := make(chan cluster.Conn, cfg.Workers)
+		errs := make(chan error, 1)
+		go func() {
+			for i := 0; i < cfg.Workers; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					errs <- err
+					return
+				}
+				accepted <- c
+			}
+		}()
+		for w := 0; w < cfg.Workers; w++ {
+			c, err := cluster.Dial(l.Addr())
+			if err != nil {
+				return nil, err
+			}
+			workerSide[w] = c
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			select {
+			case c := <-accepted:
+				driverSide[w] = cluster.NewCounting(c)
+			case err := <-errs:
+				return nil, err
+			}
+		}
+	} else {
+		for w := 0; w < cfg.Workers; w++ {
+			d, c := cluster.Pair(2)
+			driverSide[w] = cluster.NewCounting(d)
+			workerSide[w] = c
+		}
+	}
+	defer func() {
+		for _, c := range driverSide {
+			_ = c.Close()
+		}
+	}()
+
+	// Launch workers.
+	workerErrs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wcfg := cfg
+		if cfg.CodecFactory != nil {
+			wcfg.Codec = cfg.CodecFactory()
+		}
+		go func(w int, wcfg Config) {
+			workerErrs <- runWorker(wcfg, shards[w], workerSide[w], localBatch, totalRounds, cfg.Seed+int64(w)*7919)
+		}(w, wcfg)
+	}
+
+	// Driver state. The parameter space may exceed the feature space
+	// (factorization machines); every replica sizes and initializes its
+	// vector identically.
+	pDim := cfg.Trainable.ParamDim(train.Dim)
+	theta := newParams(cfg, pDim)
+	opt := cfg.Optimizer(pDim)
+	acc := gradient.NewAccumulator(pDim)
+
+	res := &Result{
+		CodecName: cfg.Codec.Name(),
+		ModelName: cfg.Trainable.Name(),
+		Workers:   cfg.Workers,
+	}
+	var cumSimSeconds float64
+	var prevUp, prevDown int64
+	driverCodecTime := make([]time.Duration, 0, cfg.Epochs)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var es EpochStats
+		es.Epoch = epoch
+		es.Rounds = roundsPerEpoch
+		epochStart := time.Now()
+		var driverDecode, driverEncode time.Duration
+
+		for round := 0; round < roundsPerEpoch; round++ {
+			// Gather worker gradients.
+			for w := 0; w < cfg.Workers; w++ {
+				msg, err := driverSide[w].Recv()
+				if err != nil {
+					return nil, fmt.Errorf("trainer: recv from worker %d: %w", w, err)
+				}
+				t0 := time.Now()
+				g, err := cfg.Codec.Decode(msg)
+				driverDecode += time.Since(t0)
+				if err != nil {
+					return nil, fmt.Errorf("trainer: decode from worker %d: %w", w, err)
+				}
+				if err := acc.Add(g, 1.0/float64(cfg.Workers)); err != nil {
+					return nil, err
+				}
+			}
+			agg := acc.Sum()
+
+			// Broadcast the aggregate.
+			t0 := time.Now()
+			msg, err := cfg.Codec.Encode(agg)
+			driverEncode += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("trainer: encode aggregate: %w", err)
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				if err := driverSide[w].Send(msg); err != nil {
+					return nil, fmt.Errorf("trainer: send to worker %d: %w", w, err)
+				}
+			}
+
+			// The driver replica applies the same decoded update the
+			// workers will see, keeping every replica identical.
+			t0 = time.Now()
+			applied, err := cfg.Codec.Decode(msg)
+			driverDecode += time.Since(t0)
+			if err != nil {
+				return nil, err
+			}
+			if err := opt.Step(theta, applied); err != nil {
+				return nil, err
+			}
+		}
+
+		// Epoch boundary: collect traffic deltas.
+		var up, down int64
+		for _, c := range driverSide {
+			s := c.Stats()
+			up += s.BytesRecv
+			down += s.BytesSent
+		}
+		es.UpBytes = up - prevUp
+		es.DownBytes = (down - prevDown) / int64(cfg.Workers)
+		prevUp, prevDown = up, down
+		es.WallTime = time.Since(epochStart)
+		es.EncodeTime = driverEncode
+		es.DecodeTime = driverDecode
+		driverCodecTime = append(driverCodecTime, driverEncode+driverDecode)
+
+		// Evaluation (excluded from epoch timing, as the paper excludes
+		// non-training phases).
+		es.TestLoss, es.Accuracy = cfg.Trainable.Evaluate(theta, test)
+		res.Epochs = append(res.Epochs, es)
+	}
+
+	// Collect worker reports: one final message per worker.
+	var totalCompute, totalWorkerEncode, totalWorkerDecode time.Duration
+	var lossSum float64
+	var lossRounds int64
+	for w := 0; w < cfg.Workers; w++ {
+		msg, err := driverSide[w].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("trainer: report from worker %d: %w", w, err)
+		}
+		rep, err := parseWorkerReport(msg)
+		if err != nil {
+			return nil, err
+		}
+		totalCompute += time.Duration(rep.computeNs)
+		totalWorkerEncode += time.Duration(rep.encodeNs)
+		totalWorkerDecode += time.Duration(rep.decodeNs)
+		lossSum += rep.lossSum
+		lossRounds += rep.rounds
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		if err := <-workerErrs; err != nil {
+			return nil, err
+		}
+	}
+
+	// Distribute worker-side totals uniformly across epochs and finalize
+	// simulated times.
+	nEpochs := len(res.Epochs)
+	meanLoss := 0.0
+	if lossRounds > 0 {
+		meanLoss = lossSum / float64(lossRounds)
+	}
+	for i := range res.Epochs {
+		es := &res.Epochs[i]
+		es.ComputeTime = totalCompute / time.Duration(nEpochs)
+		es.EncodeTime += totalWorkerEncode / time.Duration(nEpochs)
+		es.DecodeTime += totalWorkerDecode / time.Duration(nEpochs)
+		es.TrainLoss = meanLoss
+
+		// Simulated epoch time: workers run in parallel (their compute and
+		// codec work divide by W); the driver's codec work is serial; the
+		// network round time comes from the cost model with the measured
+		// per-round traffic.
+		scaledCompute := time.Duration(float64(es.ComputeTime) * cfg.ComputeScale)
+		workerTime := (scaledCompute +
+			totalWorkerEncode/time.Duration(nEpochs) +
+			totalWorkerDecode/time.Duration(nEpochs)) / time.Duration(cfg.Workers)
+		perRoundUp := es.UpBytes / int64(es.Rounds)
+		perRoundDown := es.DownBytes / int64(es.Rounds)
+		network := cfg.Network.RoundTime(perRoundUp, perRoundDown, cfg.Workers) * time.Duration(es.Rounds)
+		es.SimTime = workerTime + driverCodecTime[i] + network
+
+		cumSimSeconds += es.SimTime.Seconds()
+		res.Curve = append(res.Curve, CurvePoint{Seconds: cumSimSeconds, Loss: es.TestLoss})
+	}
+	last := res.Epochs[nEpochs-1]
+	res.FinalLoss = last.TestLoss
+	res.FinalAccuracy = last.Accuracy
+	return res, nil
+}
+
+func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch, totalRounds int, seed int64) error {
+	defer func() { _ = conn.Close() }()
+	pDim := cfg.Trainable.ParamDim(shard.Dim)
+	theta := newParams(cfg, pDim)
+	opt := cfg.Optimizer(pDim)
+	batcher := dataset.NewBatcher(shard, localBatch, seed)
+	var rep workerReport
+	var buf []*dataset.Instance
+	for round := 0; round < totalRounds; round++ {
+		t0 := time.Now()
+		buf = batcher.Next(buf)
+		g, loss := cfg.Trainable.BatchGradient(theta, buf, cfg.Lambda)
+		rep.computeNs += time.Since(t0).Nanoseconds()
+		rep.lossSum += loss
+		rep.rounds++
+
+		t0 = time.Now()
+		msg, err := cfg.Codec.Encode(g)
+		rep.encodeNs += time.Since(t0).Nanoseconds()
+		if err != nil {
+			return fmt.Errorf("trainer: worker encode: %w", err)
+		}
+		if err := conn.Send(msg); err != nil {
+			return fmt.Errorf("trainer: worker send: %w", err)
+		}
+
+		down, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("trainer: worker recv: %w", err)
+		}
+		t0 = time.Now()
+		agg, err := cfg.Codec.Decode(down)
+		rep.decodeNs += time.Since(t0).Nanoseconds()
+		if err != nil {
+			return fmt.Errorf("trainer: worker decode: %w", err)
+		}
+		if err := opt.Step(theta, agg); err != nil {
+			return err
+		}
+	}
+	return conn.Send(rep.marshal())
+}
+
+// paramsInitializer is implemented by trainables (e.g. model.FM) whose
+// parameter vector needs deterministic non-zero initialization.
+type paramsInitializer interface {
+	InitTheta(theta []float64)
+}
+
+// newParams allocates and initializes one replica's parameter vector.
+func newParams(cfg Config, pDim uint64) []float64 {
+	theta := make([]float64, pDim)
+	if init, ok := cfg.Trainable.(paramsInitializer); ok {
+		init.InitTheta(theta)
+	}
+	return theta
+}

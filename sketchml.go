@@ -1,0 +1,218 @@
+// Package sketchml is a Go implementation of SketchML (Jiang, Fu, Yang,
+// Cui — SIGMOD 2018): sketch-based compression of the sparse key–value
+// gradients exchanged during distributed machine learning.
+//
+// A SketchML message compresses a sparse gradient {(k_j, v_j)} with three
+// cooperating components:
+//
+//   - Quantile-bucket quantification: a streaming quantile sketch summarizes
+//     the (highly nonuniform, near-zero-concentrated) gradient values into q
+//     equal-population buckets; each value is replaced by its bucket index.
+//   - MinMaxSketch: a new sketch structure that stores the bucket indexes in
+//     s hash tables with a min-on-insert / max-on-query collision rule, so
+//     decoding can only decay a gradient, never amplify or sign-flip it.
+//   - Delta-binary key encoding: the sorted integer keys are stored as
+//     increments in the fewest whole bytes, losslessly.
+//
+// The package exposes the compression codecs (including the paper's Adam
+// and ZipML baselines), the distributed trainer that exchanges compressed
+// gradients between workers and a driver, synthetic dataset generators, and
+// the experiment harness that regenerates every table and figure of the
+// paper's evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for reproduction results.
+//
+// Quick start:
+//
+//	grad := sketchml.GradientFromMap(1_000_000, map[uint64]float64{42: 0.5, 1000: -0.25})
+//	comp, _ := sketchml.NewCompressor(sketchml.DefaultOptions())
+//	msg, _ := comp.Encode(grad)
+//	back, _ := comp.Decode(msg)
+package sketchml
+
+import (
+	"sketchml/internal/cluster"
+	"sketchml/internal/codec"
+	"sketchml/internal/dataset"
+	"sketchml/internal/experiments"
+	"sketchml/internal/gradient"
+	"sketchml/internal/model"
+	"sketchml/internal/optim"
+	"sketchml/internal/trainer"
+)
+
+// Gradient is a sparse gradient vector: parallel Keys/Values with keys
+// strictly ascending, over a model of Dim dimensions.
+type Gradient = gradient.Sparse
+
+// NewGradient creates an empty gradient over dim dimensions with capacity
+// hint n.
+func NewGradient(dim uint64, n int) *Gradient { return gradient.NewSparse(dim, n) }
+
+// GradientFromMap builds a gradient from an unordered key→value map.
+func GradientFromMap(dim uint64, m map[uint64]float64) *Gradient {
+	return gradient.FromMap(dim, m)
+}
+
+// GradientFromDense sparsifies a dense vector, keeping |v| > threshold.
+func GradientFromDense(dense []float64, threshold float64) *Gradient {
+	return gradient.FromDense(dense, threshold)
+}
+
+// Codec converts gradients to wire messages and back. Keys always survive
+// exactly; values may be quantized depending on the codec.
+type Codec = codec.Codec
+
+// Options configures the SketchML compressor; start from DefaultOptions.
+type Options = codec.Options
+
+// DefaultOptions returns the paper's default configuration: q=256 buckets,
+// quantile sketch size 128, a 2×(d/5) MinMaxSketch in 8 groups, and all
+// three components enabled.
+func DefaultOptions() Options { return codec.DefaultOptions() }
+
+// Compressor is the SketchML codec.
+type Compressor = codec.SketchML
+
+// NewCompressor validates opts and builds a SketchML compressor.
+func NewCompressor(opts Options) (*Compressor, error) { return codec.NewSketchML(opts) }
+
+// RawCodec is the uncompressed baseline the paper calls "Adam": fixed-width
+// keys and IEEE float values.
+type RawCodec = codec.Raw
+
+// ZipMLCodec is the uniform fixed-point quantification baseline.
+type ZipMLCodec = codec.ZipML
+
+// OneBitCodec is the 1-bit SGD threshold-truncation baseline from the
+// paper's related work.
+type OneBitCodec = codec.OneBit
+
+// TopKCodec keeps only the largest-magnitude fraction of gradient entries.
+type TopKCodec = codec.TopK
+
+// NewErrorFeedback wraps any lossy codec with residual compensation: the
+// compression error of each message is added to the next gradient. One
+// instance per sender (see TrainConfig.CodecFactory).
+func NewErrorFeedback(inner Codec) Codec { return codec.NewErrorFeedback(inner) }
+
+// Breakdown attributes an encoded message's bytes to keys, values, and
+// quantizer metadata.
+type Breakdown = codec.Breakdown
+
+// Dataset is a collection of sparse labeled instances.
+type Dataset = dataset.Dataset
+
+// Instance is one training example.
+type Instance = dataset.Instance
+
+// SyntheticConfig describes a synthetic sparse dataset drawn from a Zipf
+// feature distribution.
+type SyntheticConfig = dataset.SyntheticConfig
+
+// Synthetic dataset constructors; the *Like presets are scaled-down
+// stand-ins for the paper's Table 1 datasets.
+var (
+	GenerateDataset = dataset.Generate
+	KDD10Like       = dataset.KDD10Like
+	KDD12Like       = dataset.KDD12Like
+	CTRLike         = dataset.CTRLike
+	MNISTLike       = dataset.MNISTLike
+	ParseLibSVM     = dataset.ParseLibSVM
+	WriteLibSVM     = dataset.WriteLibSVM
+)
+
+// Model is a generalized linear model trained by mini-batch SGD.
+type Model = model.Model
+
+// The paper's three evaluated models.
+var (
+	LogisticRegression = func() Model { return model.LogisticRegression{} }
+	SVM                = func() Model { return model.SVM{} }
+	LinearRegression   = func() Model { return model.Linear{} }
+	ModelByName        = model.ByName
+)
+
+// Optimizer applies sparse gradients to a dense parameter vector.
+type Optimizer = optim.Optimizer
+
+// NewAdam returns the Adam optimizer with the paper's hyper-parameters
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64, dim uint64) Optimizer { return optim.NewAdam(lr, dim) }
+
+// NewSGD returns plain SGD.
+func NewSGD(lr float64) Optimizer { return optim.NewSGD(lr) }
+
+// TrainConfig configures a distributed training run.
+type TrainConfig = trainer.Config
+
+// TrainResult reports per-epoch statistics and the convergence curve.
+type TrainResult = trainer.Result
+
+// EpochStats is one epoch of a training run.
+type EpochStats = trainer.EpochStats
+
+// Train executes the paper's synchronous distributed training loop:
+// the training set is sharded over cfg.Workers workers, each round every
+// worker's gradient travels through cfg.Codec to the driver, and the
+// aggregate is broadcast back.
+func Train(cfg TrainConfig, train, test *Dataset) (*TrainResult, error) {
+	return trainer.Run(cfg, train, test)
+}
+
+// NetworkModel converts measured traffic into simulated cluster epoch
+// times.
+type NetworkModel = cluster.NetworkModel
+
+// Reproduction-scaled network models (see internal/cluster).
+var (
+	LabCluster        = cluster.LabCluster
+	ProductionCluster = cluster.ProductionCluster
+)
+
+// ExperimentConfig scales an experiment run.
+type ExperimentConfig = experiments.Config
+
+// ExperimentReport is the rendered and metric output of one experiment.
+type ExperimentReport = experiments.Report
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// (e.g. "fig8a", "tab2"); ExperimentIDs lists them all.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentReport, error) {
+	return experiments.Run(id, cfg)
+}
+
+// ExperimentIDs returns every experiment id in stable order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitle returns the human title for an experiment id.
+func ExperimentTitle(id string) string { return experiments.Title(id) }
+
+// TrainPS executes training on the sharded parameter-server topology (an
+// extension beyond the paper's single-driver design): the key space is
+// load-balanced across `servers` aggregators with parallel links.
+func TrainPS(cfg TrainConfig, servers int, train, test *Dataset) (*TrainResult, error) {
+	return trainer.RunPS(cfg, servers, train, test)
+}
+
+// Trainable is the general model contract the trainer accepts (set
+// TrainConfig.Trainable); generalized linear models are adapted
+// automatically from TrainConfig.Model.
+type Trainable = model.Trainable
+
+// FactorizationMachine is a second-order factorization machine with k
+// latent factors per feature — sparse gradients over a D·(1+k) parameter
+// space, compressible by every codec in this package.
+type FactorizationMachine = model.FM
+
+// NewAdaGrad returns the AdaGrad optimizer (Duchi et al.), the other
+// adaptive method of the paper's related work.
+func NewAdaGrad(lr float64, dim uint64) Optimizer { return optim.NewAdaGrad(lr, dim) }
+
+// TrainSSP executes training under the Stale Synchronous Parallel protocol
+// (Ho et al., the paper's citation [19]): workers may run ahead of the
+// slowest peer by at most `staleness` iterations. speeds scales each
+// worker's compute time (nil = uniform); pass a slow factor to study
+// stragglers.
+func TrainSSP(cfg TrainConfig, staleness int, speeds []float64, train, test *Dataset) (*TrainResult, error) {
+	return trainer.RunSSP(cfg, staleness, speeds, train, test)
+}
