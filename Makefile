@@ -1,0 +1,58 @@
+# Verification harness for the SketchML reproduction.
+#
+# `make verify` is the CI gate: build, formatting, go vet, the project's
+# own static analyzers (cmd/sketchlint), unit tests, and the race
+# detector. `make fuzz` adds a short native-fuzz smoke over the wire-format
+# decoders. See DESIGN.md "Verification & static analysis".
+
+GO       ?= go
+FUZZTIME ?= 10s
+
+# Native fuzz targets, as "package:Target" pairs. Go's fuzzer runs one
+# target per invocation, so the fuzz rule loops.
+FUZZ_TARGETS := \
+	./internal/codec:FuzzSketchMLDecode \
+	./internal/keycoding:FuzzDeltaRoundTrip \
+	./internal/keycoding:FuzzDecodeDeltaRobust
+
+.PHONY: all build fmt vet lint test race fuzz verify clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+# gofmt -l prints offending files; grep -c . turns "any output" into a
+# failing exit status with the file list still visible.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/sketchlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "fuzzing $$target in $$pkg for $(FUZZTIME)"; \
+		$(GO) test -run '^$$' -fuzz $$target -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
+verify: build fmt vet lint test race
+	@echo "verify: all gates passed"
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,138 @@
+// Command sketchlint runs the project's static-analysis suite
+// (internal/lint) over the module: five analyzers encoding SketchML's
+// correctness invariants — unseeded-hash, float-equality, unchecked-error,
+// wire-endianness, and panic-in-library. See DESIGN.md ("Verification &
+// static analysis") for what each one enforces and why.
+//
+// Usage:
+//
+//	sketchlint [-list] [./... | dir ...]
+//
+// With no arguments (or "./...") every package in the module is checked.
+// Individual directories may be named instead. Exit status is 1 when any
+// finding is reported, 2 on a load or usage error.
+//
+// Findings can be suppressed — sparingly, with a justification — by a
+// comment on the offending line or the line above:
+//
+//	//lint:allow panic-in-library unreachable: validated by caller
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sketchml/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sketchlint [-list] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return err
+	}
+
+	var pkgs []*lint.Package
+	seen := make(map[string]bool)
+	for _, arg := range args {
+		loaded, err := load(loader, root, arg)
+		if err != nil {
+			return err
+		}
+		for _, p := range loaded {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	diags := lint.Run(loader.Fset(), pkgs, lint.All())
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// load resolves one command-line argument to packages: "./..." (or the
+// module root) loads everything; anything else is a single directory.
+func load(loader *lint.Loader, root, arg string) ([]*lint.Package, error) {
+	if arg == "./..." || arg == "..." {
+		return loader.LoadAll()
+	}
+	dir, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("%s is outside module root %s", arg, root)
+	}
+	path := loader.ModulePath
+	if rel != "." {
+		path = loader.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	pkg, err := loader.LoadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	return []*lint.Package{pkg}, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"sketchml/internal/invariant"
 )
 
 // BitsFor returns the number of bits needed to represent values in [0, n),
@@ -37,7 +39,7 @@ type Writer struct {
 // [1, 32].
 func NewWriter(width int) *Writer {
 	if width < 1 || width > 32 {
-		panic(fmt.Sprintf("bitpack: width %d out of [1,32]", width))
+		invariant.Failf("bitpack: width %d out of [1,32]", width)
 	}
 	return &Writer{width: uint(width)}
 }
@@ -45,7 +47,7 @@ func NewWriter(width int) *Writer {
 // Write appends one value. v must fit in the configured width.
 func (w *Writer) Write(v uint32) {
 	if w.width < 32 && v >= 1<<w.width {
-		panic(fmt.Sprintf("bitpack: value %d does not fit in %d bits", v, w.width))
+		invariant.Failf("bitpack: value %d does not fit in %d bits", v, w.width)
 	}
 	w.cur |= uint64(v) << w.nbits
 	w.nbits += w.width
@@ -88,7 +90,7 @@ type Reader struct {
 // NewReader creates a Reader over data with the given value width.
 func NewReader(data []byte, width int) *Reader {
 	if width < 1 || width > 32 {
-		panic(fmt.Sprintf("bitpack: width %d out of [1,32]", width))
+		invariant.Failf("bitpack: width %d out of [1,32]", width)
 	}
 	return &Reader{data: data, width: uint(width)}
 }

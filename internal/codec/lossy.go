@@ -163,7 +163,7 @@ func (c *TopK) Encode(g *gradient.Sparse) ([]byte, error) {
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		va, vb := math.Abs(g.Values[idx[a]]), math.Abs(g.Values[idx[b]])
-		if va != vb {
+		if va != vb { //lint:allow float-equality deterministic sort tie-break on exact magnitudes
 			return va > vb
 		}
 		return g.Keys[idx[a]] < g.Keys[idx[b]]

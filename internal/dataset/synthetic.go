@@ -111,54 +111,48 @@ func Generate(cfg SyntheticConfig) (*Dataset, error) {
 // CTR is the densest (smaller D/d ratio, so compression gains shrink —
 // Section 4.3.2).
 
-// KDD10Like returns a KDD CUP 2010-like classification dataset.
-func KDD10Like(seed int64) *Dataset {
-	d, err := Generate(SyntheticConfig{
-		N: 4000, Dim: 25000, AvgNNZ: 30, ZipfS: 1.3,
-		Task: Classification, NoiseStd: 0.5, BinaryVals: true, Seed: seed,
-	})
+// mustGenerate wraps Generate for the preset dataset constructors below,
+// whose literal configs are valid by construction.
+func mustGenerate(cfg SyntheticConfig) *Dataset {
+	d, err := Generate(cfg)
 	if err != nil {
 		panic(err)
 	}
 	return d
+}
+
+// KDD10Like returns a KDD CUP 2010-like classification dataset.
+func KDD10Like(seed int64) *Dataset {
+	return mustGenerate(SyntheticConfig{
+		N: 4000, Dim: 25000, AvgNNZ: 30, ZipfS: 1.3,
+		Task: Classification, NoiseStd: 0.5, BinaryVals: true, Seed: seed,
+	})
 }
 
 // KDD12Like returns a KDD CUP 2012-like classification dataset: larger and
 // sparser than KDD10Like.
 func KDD12Like(seed int64) *Dataset {
-	d, err := Generate(SyntheticConfig{
+	return mustGenerate(SyntheticConfig{
 		N: 8000, Dim: 50000, AvgNNZ: 25, ZipfS: 1.25,
 		Task: Classification, NoiseStd: 0.5, BinaryVals: true, Seed: seed,
 	})
-	if err != nil {
-		panic(err)
-	}
-	return d
 }
 
 // CTRLike returns a Tencent-CTR-like dataset: denser instances over a
 // comparatively smaller feature space, where the paper's speedups shrink.
 func CTRLike(seed int64) *Dataset {
-	d, err := Generate(SyntheticConfig{
+	return mustGenerate(SyntheticConfig{
 		N: 6000, Dim: 15000, AvgNNZ: 80, ZipfS: 1.2,
 		Task: Classification, NoiseStd: 0.8, BinaryVals: true, Seed: seed,
 	})
-	if err != nil {
-		panic(err)
-	}
-	return d
 }
 
 // RegressionLike returns a sparse regression dataset for the Linear model.
 func RegressionLike(seed int64, n int, dim uint64) *Dataset {
-	d, err := Generate(SyntheticConfig{
+	return mustGenerate(SyntheticConfig{
 		N: n, Dim: dim, AvgNNZ: 30, ZipfS: 1.3,
 		Task: Regression, NoiseStd: 0.1, Seed: seed,
 	})
-	if err != nil {
-		panic(err)
-	}
-	return d
 }
 
 // MNISTLike generates a dense 10-class digit-like image dataset of

@@ -11,6 +11,19 @@ import (
 // shapes measurable.
 func quick() Config { return Config{Scale: 0.5, Seed: 1} }
 
+// skipUnderRace skips tests whose assertions compare wall-clock compute
+// against modeled network cost. Race-detector instrumentation inflates
+// CPU time 10-20x while the network model's costs stay fixed, so those
+// orderings flip regardless of code correctness. The concurrency-heavy
+// packages (trainer, cluster) keep full -race coverage; only the
+// performance-shape assertions here are excluded.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("wall-clock shape assertions are not meaningful under the race detector")
+	}
+}
+
 func TestIDsAndTitles(t *testing.T) {
 	ids := IDs()
 	if len(ids) < 15 {
@@ -41,6 +54,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig8aShape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("fig8a", quick())
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +89,7 @@ func TestFig8bShape(t *testing.T) {
 }
 
 func TestFig8cShape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("fig8c", quick())
 	if err != nil {
 		t.Fatal(err)
@@ -92,6 +107,7 @@ func TestFig8cShape(t *testing.T) {
 }
 
 func TestFig8dShape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("fig8d", quick())
 	if err != nil {
 		t.Fatal(err)
@@ -112,6 +128,7 @@ func TestFig8dShape(t *testing.T) {
 }
 
 func TestFig9aShape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("fig9a", quick())
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +144,7 @@ func TestFig9aShape(t *testing.T) {
 }
 
 func TestFig9bSmallerSpeedupThanKDD12(t *testing.T) {
+	skipUnderRace(t)
 	// Section 4.3.2: CTR is denser, so SketchML's relative speedup shrinks
 	// compared to the KDD12-like dataset.
 	a, err := Run("fig9a", quick())
@@ -148,6 +166,7 @@ func TestFig9bSmallerSpeedupThanKDD12(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("fig11", quick())
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +181,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("tab2", Config{Scale: 0.4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +201,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("fig12", quick())
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +216,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("fig13", quick())
 	if err != nil {
 		t.Fatal(err)
@@ -210,6 +232,7 @@ func TestFig13Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("tab4", quick())
 	if err != nil {
 		t.Fatal(err)
@@ -226,6 +249,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
+	skipUnderRace(t)
 	rep, err := Run("fig14", Config{Scale: 0.3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"sketchml/internal/invariant"
 )
 
 // Sparse is a sparse gradient vector over a model of Dim dimensions,
@@ -106,7 +108,7 @@ func (g *Sparse) Get(k uint64) float64 {
 // Append adds an entry; the key must exceed the current last key.
 func (g *Sparse) Append(k uint64, v float64) {
 	if n := len(g.Keys); n > 0 && k <= g.Keys[n-1] {
-		panic(fmt.Sprintf("gradient: Append key %d not ascending (last %d)", k, g.Keys[n-1]))
+		invariant.Failf("gradient: Append key %d not ascending (last %d)", k, g.Keys[n-1])
 	}
 	g.Keys = append(g.Keys, k)
 	g.Values = append(g.Values, v)

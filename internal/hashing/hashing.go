@@ -16,6 +16,8 @@
 // safe for concurrent use.
 package hashing
 
+import "sketchml/internal/invariant"
+
 // Mix64 returns a well-dispersed 64-bit hash of x under the given seed.
 //
 // The construction XORs the seed into the input and applies the SplitMix64
@@ -55,10 +57,10 @@ type Family struct {
 // with the same master seed are identical.
 func NewFamily(n int, buckets int, masterSeed uint64) *Family {
 	if n <= 0 {
-		panic("hashing: family size must be positive")
+		invariant.Fail("hashing: family size must be positive")
 	}
 	if buckets <= 0 {
-		panic("hashing: bucket count must be positive")
+		invariant.Fail("hashing: bucket count must be positive")
 	}
 	seeds := make([]uint64, n)
 	// Derive row seeds from the master seed with SplitMix64 so that any
@@ -110,7 +112,7 @@ type MultiplyShift struct {
 // seed. bits must be in [1, 63].
 func NewMultiplyShift(bits int, seed uint64) MultiplyShift {
 	if bits < 1 || bits > 63 {
-		panic("hashing: bits out of range [1,63]")
+		invariant.Fail("hashing: bits out of range [1,63]")
 	}
 	a := Mix64(seed, 0x8f14e45fceea167a) | 1 // force odd
 	b := Mix64(seed, 0x6c62272e07bb0142)

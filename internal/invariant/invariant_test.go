@@ -1,0 +1,32 @@
+package invariant
+
+import "testing"
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic %q, got none", want)
+		}
+		if s, ok := r.(string); !ok || s != want {
+			t.Fatalf("panic = %v, want %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestAssertPassesWhenTrue(t *testing.T) {
+	Assert(true, "unused")
+	Assertf(true, "unused %d", 1)
+}
+
+func TestAssertPanicsWhenFalse(t *testing.T) {
+	mustPanic(t, "pkg: boom", func() { Assert(false, "pkg: boom") })
+	mustPanic(t, "pkg: boom 7", func() { Assertf(false, "pkg: boom %d", 7) })
+}
+
+func TestFail(t *testing.T) {
+	mustPanic(t, "pkg: boom", func() { Fail("pkg: boom") })
+	mustPanic(t, "pkg: boom 7", func() { Failf("pkg: boom %d", 7) })
+}

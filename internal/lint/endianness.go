@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// wirePackages are the import-path suffixes of the packages that define
+// the wire format. Only they are held to the endianness rules; everything
+// else may use whatever in-memory representation it likes.
+var wirePackages = []string{
+	"internal/codec",
+	"internal/bitpack",
+	"internal/keycoding",
+}
+
+// WireEndianness enforces endian-stable serialization in the wire-format
+// packages (internal/codec, internal/bitpack, internal/keycoding):
+// multi-byte values must go through encoding/binary with an explicit byte
+// order (or hand-written shifts, which are order-explicit by construction).
+// The analyzer flags the two ways platform byte order can leak into the
+// format: importing unsafe (reinterpreting []byte as native-order words)
+// and binary.NativeEndian. A message encoded on a little-endian worker
+// must decode bit-identically on any peer — keys that decode differently
+// update the wrong model dimension (SIGMOD '18 §3.4).
+func WireEndianness() *Analyzer {
+	a := &Analyzer{
+		Name: "wire-endianness",
+		Doc: "wire-format packages must serialize via encoding/binary with an " +
+			"explicit byte order; unsafe and binary.NativeEndian are forbidden",
+	}
+	a.Run = func(pass *Pass) {
+		if !isWirePackage(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "unsafe" {
+					pass.Reportf(imp.Pos(),
+						"wire-format package imports unsafe; reinterpreting memory "+
+							"bakes the host byte order into the format")
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				qual, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pass.PkgNameOf(qual) == "encoding/binary" && sel.Sel.Name == "NativeEndian" {
+					pass.Reportf(sel.Pos(),
+						"binary.NativeEndian is platform-dependent; the wire format "+
+							"must name LittleEndian or BigEndian explicitly")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isWirePackage reports whether the import path belongs to a wire-format
+// package (fixtures opt in via the fixture/ prefix).
+func isWirePackage(path string) bool {
+	for _, suffix := range wirePackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return strings.HasPrefix(path, "fixture/")
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// FloatEquality flags == and != between floating-point operands in
+// non-test code. Compressed gradients are lossy (quantile-bucket
+// quantification truncates values, MinMaxSketch adds collision error), so
+// exact comparison of reconstructed floats is almost always a bug —
+// comparisons must go through epsilon helpers (gradient.AlmostEqual-style
+// tolerances).
+//
+// Two idioms stay legal:
+//   - comparison against an exact constant zero (v == 0), the sparse-skip
+//     test: zero is exactly representable and means "entry absent";
+//   - x != x, the portable NaN test.
+func FloatEquality() *Analyzer {
+	a := &Analyzer{
+		Name: "float-equality",
+		Doc: "raw ==/!= on float operands; lossy-compressed values must be " +
+			"compared through epsilon helpers",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass, bin.X) && !isFloat(pass, bin.Y) {
+					return true
+				}
+				if isExactZero(pass, bin.X) || isExactZero(pass, bin.Y) {
+					return true
+				}
+				if bin.Op == token.NEQ && sameExpr(bin.X, bin.Y) {
+					return true // x != x is the NaN idiom
+				}
+				pass.Reportf(bin.OpPos,
+					"float %s comparison; use an epsilon helper (values may be "+
+						"lossy-compressed or accumulated in different orders)", bin.Op)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isFloat reports whether the static type of expr is a floating-point
+// kind (including named types whose underlying type is a float).
+func isFloat(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether expr is a compile-time constant equal to
+// exactly zero.
+func isExactZero(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// sameExpr reports whether two expressions have identical source form.
+func sameExpr(a, b ast.Expr) bool {
+	var ba, bb bytes.Buffer
+	fset := token.NewFileSet()
+	if err := printer.Fprint(&ba, fset, a); err != nil {
+		return false
+	}
+	if err := printer.Fprint(&bb, fset, b); err != nil {
+		return false
+	}
+	return ba.String() == bb.String()
+}

@@ -1,0 +1,198 @@
+// Package lint implements sketchlint, the project's static-analysis suite.
+//
+// SketchML's correctness rests on invariants the Go compiler cannot check:
+// sketches must hash deterministically under explicit seeds (SIGMOD '18
+// §3.3 — encoder and decoder must agree bucket-for-bucket), the wire
+// format must be endian-stable across workers, compressed gradients must
+// never be compared with raw float equality, and the distributed runtime
+// must neither drop codec errors nor panic inside library code. Each
+// analyzer in this package encodes one of those invariants as a syntactic
+// or type-based check over the module's non-test sources.
+//
+// The implementation uses only the standard library (go/parser, go/ast,
+// go/types, go/token); there is deliberately no golang.org/x/tools
+// dependency, matching the repository's stdlib-only design rule.
+//
+// A finding can be suppressed — sparingly — with a comment on the same
+// line or the line directly above:
+//
+//	//lint:allow float-equality exact sentinel comparison, see DESIGN.md
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a fully type-checked package
+// through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer identifier used in output and in
+	// //lint:allow comments (kebab-case, e.g. "float-equality").
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is a single finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+	allow map[string]map[int]map[string]bool // file -> line -> analyzer names
+}
+
+// Reportf records a finding at pos unless a //lint:allow comment for this
+// analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt reports whether a //lint:allow comment for this analyzer sits
+// on the diagnostic's line or the line directly above it.
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && names[p.Analyzer.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgNameOf resolves the package an identifier refers to when it names an
+// import ("rand" in rand.Intn), or "" when it does not.
+func (p *Pass) PkgNameOf(ident *ast.Ident) string {
+	if obj, ok := p.Info.Uses[ident].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// buildAllow collects //lint:allow comments per file and line.
+//
+// Syntax: "//lint:allow name1,name2 optional justification". The comment
+// suppresses the named analyzers on its own line and the line below.
+func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:allow")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						names[name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllow(fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				allow:    allow,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		UnseededHash(),
+		FloatEquality(),
+		UncheckedError(),
+		WireEndianness(),
+		PanicInLibrary(),
+	}
+}
+
+// internalLibrary reports whether an import path is part of the module's
+// internal library surface (where the stricter analyzers apply). Fixture
+// packages used by the analyzer tests opt in via the "fixture/" prefix.
+func internalLibrary(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/") ||
+		strings.HasPrefix(path, "fixture/")
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the expected-message substring from a fixture comment
+// of the form: // want "substring"
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, name string) (*Loader, *Package) {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, pkg
+}
+
+// checkFixture runs one analyzer over its fixture and verifies the
+// diagnostics line up exactly with the fixture's want comments: every
+// want has a matching diagnostic and every diagnostic has a want.
+func checkFixture(t *testing.T, name string, analyzer *Analyzer) {
+	t.Helper()
+	loader, pkg := loadFixture(t, name)
+
+	type want struct {
+		substr  string
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := loader.Fset().Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &want{substr: m[1]})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", name)
+	}
+
+	diags := Run(loader.Fset(), []*Package{pkg}, []*Analyzer{analyzer})
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic containing %q, got none", key, w.substr)
+			}
+		}
+	}
+}
+
+func TestUnseededHashFixture(t *testing.T)   { checkFixture(t, "unseededhash", UnseededHash()) }
+func TestFloatEqualityFixture(t *testing.T)  { checkFixture(t, "floateq", FloatEquality()) }
+func TestUncheckedErrorFixture(t *testing.T) { checkFixture(t, "uncheckederr", UncheckedError()) }
+func TestWireEndiannessFixture(t *testing.T) { checkFixture(t, "endianness", WireEndianness()) }
+func TestPanicInLibraryFixture(t *testing.T) { checkFixture(t, "paniclib", PanicInLibrary()) }
+
+// TestScopedAnalyzersSkipForeignPackages pins the path scoping: the
+// wire-endianness and panic-in-library analyzers must stay silent outside
+// their target packages even when the code would otherwise violate them.
+func TestScopedAnalyzersSkipForeignPackages(t *testing.T) {
+	if isWirePackage("sketchml/internal/trainer") {
+		t.Error("trainer must not be held to wire-format rules")
+	}
+	for _, path := range []string{"sketchml/internal/codec", "sketchml/internal/bitpack",
+		"sketchml/internal/keycoding", "fixture/endianness"} {
+		if !isWirePackage(path) {
+			t.Errorf("%s should be a wire package", path)
+		}
+	}
+	if internalLibrary("sketchml/cmd/sketchbench") {
+		t.Error("cmd binaries are not library packages")
+	}
+	if !internalLibrary("sketchml/internal/codec") {
+		t.Error("internal/codec is a library package")
+	}
+}
+
+// TestRepoIsClean runs the full analyzer suite over the whole module —
+// the same thing `go run ./cmd/sketchlint ./...` does — and demands zero
+// findings. This keeps the tree lint-clean even when CI only runs
+// go test.
+func TestRepoIsClean(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, d := range Run(loader.Fset(), pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,19 @@
+// Package endianness is a sketchlint test fixture. Each "want" comment
+// marks a line the wire-endianness analyzer must flag.
+package endianness
+
+import (
+	"encoding/binary"
+	"unsafe" // want "imports unsafe"
+)
+
+func bad(b []byte) uint32 {
+	x := *(*uint32)(unsafe.Pointer(&b[0]))
+	binary.NativeEndian.PutUint32(b, x)  // want "NativeEndian is platform-dependent"
+	return binary.NativeEndian.Uint32(b) // want "NativeEndian is platform-dependent"
+}
+
+func good(b []byte) uint32 {
+	binary.BigEndian.PutUint32(b[4:], 7)
+	return binary.LittleEndian.Uint32(b)
+}

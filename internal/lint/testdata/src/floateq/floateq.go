@@ -1,0 +1,34 @@
+// Package floateq is a sketchlint test fixture. Each "want" comment marks
+// a line the float-equality analyzer must flag.
+package floateq
+
+// Celsius checks that named float types are still caught.
+type Celsius float64
+
+func bad(a, b float64, c, d float32, e Celsius) bool {
+	if a == b { // want "float == comparison"
+		return true
+	}
+	if c != d { // want "float != comparison"
+		return true
+	}
+	if e == Celsius(a) { // want "float == comparison"
+		return true
+	}
+	return a == 1.5 // want "float == comparison"
+}
+
+func good(a, b float64) bool {
+	if a == 0 { // exact zero is the sparse-skip idiom
+		return false
+	}
+	if a != a { // NaN test
+		return false
+	}
+	sentinel := a == b //lint:allow float-equality fixture exercises suppression
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return sentinel || diff < 1e-9
+}

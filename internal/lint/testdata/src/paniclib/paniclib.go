@@ -1,0 +1,43 @@
+// Package paniclib is a sketchlint test fixture. Each "want" comment
+// marks a line the panic-in-library analyzer must flag.
+package paniclib
+
+import "errors"
+
+func Exported(x int) {
+	if x < 0 {
+		panic("paniclib: negative") // want "panic in library function Exported"
+	}
+}
+
+func helper() {
+	panic("paniclib: helper") // want "panic in library function helper"
+}
+
+func inClosure() func() {
+	return func() {
+		panic("paniclib: closure") // want "panic in library function inClosure"
+	}
+}
+
+func MustThing(ok bool) {
+	if !ok {
+		panic(errors.New("paniclib: Must wrappers may panic"))
+	}
+}
+
+func assertPositive(x int) {
+	if x <= 0 {
+		panic("paniclib: assert helpers may panic")
+	}
+}
+
+func init() {
+	if false {
+		panic("paniclib: init may panic")
+	}
+}
+
+func deliberate() {
+	panic("paniclib: unreachable by construction") //lint:allow panic-in-library fixture exercises suppression
+}

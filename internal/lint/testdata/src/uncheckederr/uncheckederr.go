@@ -1,0 +1,42 @@
+// Package uncheckederr is a sketchlint test fixture. Each "want" comment
+// marks a line the unchecked-error analyzer must flag.
+package uncheckederr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+)
+
+type codec struct{}
+
+func (codec) Encode(v []byte) ([]byte, error) { return v, nil }
+func (codec) Decode(v []byte) ([]byte, error) { return v, nil }
+
+func Compress(v []byte) error { return errors.New("not implemented") }
+
+func bad(w io.Writer, r io.Reader, c codec) {
+	c.Encode(nil)       // want "error result of fixture/uncheckederr.codec.Encode is discarded"
+	c.Decode(nil)       // want "is discarded"
+	Compress(nil)       // want "error result of Compress is discarded"
+	w.Write(nil)        // want "io.Writer.Write is discarded"
+	r.Read(nil)         // want "io.Reader.Read is discarded"
+	go Compress(nil)    // want "is discarded"
+	defer c.Encode(nil) // want "is discarded"
+}
+
+func good(w io.Writer, c codec) error {
+	var b bytes.Buffer
+	b.Write([]byte("x")) // bytes.Buffer is documented never to fail
+	var sb strings.Builder
+	sb.Write([]byte("x")) // strings.Builder likewise
+	if _, err := c.Encode(nil); err != nil {
+		return err
+	}
+	ignore(c) // unwatched names stay out of scope even when they return errors
+	_, err := w.Write([]byte("x"))
+	return err
+}
+
+func ignore(c codec) error { return Compress(nil) }

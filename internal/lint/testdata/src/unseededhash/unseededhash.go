@@ -1,0 +1,26 @@
+// Package unseededhash is a sketchlint test fixture. Each "want" comment
+// marks a line the unseeded-hash analyzer must flag.
+package unseededhash
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"time"
+)
+
+func bad(buf []byte) float64 {
+	x := rand.Float64()                // want "package-level rand.Float64"
+	n := rand.Intn(10)                 // want "package-level rand.Intn"
+	rand.Shuffle(n, func(i, j int) {}) // want "package-level rand.Shuffle"
+	seed := maphash.MakeSeed()         // want "per-process random seed"
+	var h maphash.Hash
+	h.SetSeed(seed)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now"
+	return x + rng.Float64()
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, 100)
+	return rng.Float64() + float64(zipf.Uint64())
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// codecVerbs are callee-name prefixes whose error results must never be
+// discarded: these are the serialization entry points, and a dropped error
+// there means a worker ships (or applies) a corrupt gradient.
+var codecVerbs = []string{"Encode", "Decode", "Compress", "Decompress"}
+
+// ioVerbs are the io.Writer/io.Reader-shaped method names covered by the
+// analyzer when they return an error.
+var ioVerbs = map[string]bool{
+	"Write": true, "Read": true, "WriteTo": true, "ReadFrom": true,
+	"ReadFull": true,
+}
+
+// neverFails lists receiver types whose Write-family methods are
+// documented to always return a nil error; flagging them is pure noise.
+var neverFails = map[string]bool{
+	"bytes.Buffer":      true,
+	"strings.Builder":   true,
+	"hash/maphash.Hash": true,
+}
+
+// UncheckedError flags statements that discard the error result of a
+// serialization or I/O call: Encode/Decode/Compress/Decompress by name,
+// and Write/Read-shaped calls, including through io.Writer/io.Reader.
+// The trainer feeds codec output straight onto sockets; a silently
+// dropped error there surfaces later as a diverging model, far from the
+// root cause.
+func UncheckedError() *Analyzer {
+	a := &Analyzer{
+		Name: "unchecked-error",
+		Doc: "discarded error result from an Encode/Decode/Compress/Decompress " +
+			"or io.Writer/io.Reader call",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = stmt.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = stmt.Call
+				case *ast.DeferStmt:
+					call = stmt.Call
+				}
+				if call == nil {
+					return true
+				}
+				name, recv := calleeName(pass, call)
+				if name == "" || !watchedName(name) {
+					return true
+				}
+				if recv != "" && neverFails[recv] {
+					return true
+				}
+				if !returnsError(pass, call) {
+					return true
+				}
+				what := name
+				if recv != "" {
+					what = recv + "." + name
+				}
+				pass.Reportf(call.Pos(),
+					"error result of %s is discarded; check it (or assign to _ "+
+						"with a //lint:allow comment if the failure is provably impossible)", what)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// watchedName reports whether a callee name is in the analyzer's scope.
+func watchedName(name string) bool {
+	if ioVerbs[name] {
+		return true
+	}
+	for _, verb := range codecVerbs {
+		if strings.HasPrefix(name, verb) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName resolves the called function's name and, for methods, a
+// printable receiver type like "bytes.Buffer".
+func calleeName(pass *Pass, call *ast.CallExpr) (name, recv string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, ""
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			recv = typeName(sel.Recv())
+		}
+		return name, recv
+	}
+	return "", ""
+}
+
+// typeName renders a receiver type without pointer decoration, e.g.
+// "bytes.Buffer" or "io.Writer".
+func typeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return t.String()
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// returnsError reports whether the call yields at least one result whose
+// type is the built-in error interface.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// randConstructors are the math/rand entry points that take an explicit
+// seed or source and are therefore deterministic by construction.
+var randConstructors = map[string]bool{
+	"New":        true, // rand.New(rand.NewSource(seed))
+	"NewSource":  true,
+	"NewZipf":    true, // seeded through the *rand.Rand it wraps
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// autoSeededMaphash are hash/maphash entry points that draw a random seed
+// per process, which silently breaks cross-worker reproducibility.
+var autoSeededMaphash = map[string]bool{
+	"MakeSeed":   true,
+	"String":     true,
+	"Bytes":      true,
+	"Comparable": true,
+}
+
+// UnseededHash flags nondeterministic hashing and randomness in non-test
+// library code: the package-level math/rand functions (which share a
+// process-global, randomly seeded source since Go 1.20), hash/maphash
+// helpers that mint their own random seed, and rand sources seeded from
+// the clock. SketchML sketches must be reproducible from an explicit seed
+// — encoder and decoder derive the same hash family from codec.Options.Seed,
+// and golden/regression tests depend on byte-stable output.
+func UnseededHash() *Analyzer {
+	a := &Analyzer{
+		Name: "unseeded-hash",
+		Doc: "nondeterministic randomness or hashing: package-level math/rand, " +
+			"auto-seeded hash/maphash, or clock-derived seeds",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				qual, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgPath := pass.PkgNameOf(qual)
+				name := sel.Sel.Name
+				// Only function uses matter; rand.Rand in a type or a
+				// field named after a package stays legal.
+				if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				switch pkgPath {
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[name] {
+						pass.Reportf(sel.Pos(),
+							"package-level %s.%s uses the process-global random source; "+
+								"use rand.New(rand.NewSource(seed)) so results are reproducible",
+							qual.Name, name)
+					}
+				case "hash/maphash":
+					if autoSeededMaphash[name] {
+						pass.Reportf(sel.Pos(),
+							"maphash.%s draws a per-process random seed; sketches must use "+
+								"an explicit seed (see internal/hashing)", name)
+					}
+				}
+				return true
+			})
+			// Clock-derived seeds defeat the explicit-seed rule even when
+			// threaded through the seeded constructors. Nested constructors
+			// (rand.New(rand.NewSource(...))) both see the same time.Now
+			// call, so dedupe by position.
+			reported := make(map[token.Pos]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				qual, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgPath := pass.PkgNameOf(qual)
+				if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") &&
+					randConstructors[sel.Sel.Name] {
+					for _, arg := range call.Args {
+						if tn := findTimeNow(pass, arg); tn != nil && !reported[tn.Pos()] {
+							reported[tn.Pos()] = true
+							pass.Reportf(tn.Pos(),
+								"seed derived from time.Now is not reproducible; "+
+									"plumb an explicit seed instead")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// findTimeNow returns the first time.Now call inside expr, if any.
+func findTimeNow(pass *Pass, expr ast.Expr) ast.Node {
+	var found ast.Node
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+			if qual, ok := sel.X.(*ast.Ident); ok && pass.PkgNameOf(qual) == "time" {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -167,11 +167,8 @@ func (m FM) Evaluate(theta []float64, ds *dataset.Dataset) (float64, float64) {
 		loss, _ := m.lossAndScalar(y, in.Label)
 		lossSum += loss
 		if !m.Regression {
-			pred := -1.0
-			if y >= 0 {
-				pred = 1
-			}
-			if pred == in.Label {
+			// Sign agreement, not float equality: labels are ±1.
+			if (y >= 0) == (in.Label > 0) {
 				correct++
 			}
 		}

@@ -177,7 +177,8 @@ func Evaluate(m Model, theta []float64, d *dataset.Dataset) (loss, accuracy floa
 		margin := in.Dot(theta)
 		lossSum += m.InstanceLoss(margin, in.Label)
 		if _, isLinear := m.(Linear); !isLinear {
-			if m.Predict(margin) == in.Label {
+			// Sign agreement, not float equality: Predict and Label are ±1.
+			if m.Predict(margin)*in.Label > 0 {
 				correct++
 			}
 		}

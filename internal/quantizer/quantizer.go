@@ -123,7 +123,7 @@ func (z *Quantile) Bucket(v float64) int {
 	if i == len(z.splits) {
 		return len(z.means) - 1
 	}
-	if z.splits[i] == v {
+	if z.splits[i] == v { //lint:allow float-equality exact split boundary tie-break
 		// v sits exactly on a split: it belongs to the bucket starting at v,
 		// except at the very top where it falls into the last bucket.
 		if i == len(z.means) {
@@ -292,7 +292,7 @@ func (u *Uniform) Range() (float64, float64) { return u.min, u.max }
 
 // Bucket maps v to its level index, clamped into [0, levels).
 func (u *Uniform) Bucket(v float64) int {
-	if u.max == u.min {
+	if u.max == u.min { //lint:allow float-equality degenerate zero-width range guard
 		return 0
 	}
 	idx := int(math.Round((v - u.min) / (u.max - u.min) * float64(u.levels-1)))
@@ -307,7 +307,7 @@ func (u *Uniform) Bucket(v float64) int {
 
 // Mean decodes level index i back to a value.
 func (u *Uniform) Mean(i int) float64 {
-	if u.max == u.min {
+	if u.max == u.min { //lint:allow float-equality degenerate zero-width range guard
 		return u.min
 	}
 	if i < 0 {

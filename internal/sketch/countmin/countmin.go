@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"sketchml/internal/hashing"
+	"sketchml/internal/invariant"
 )
 
 // Sketch is a Count-Min sketch with s rows (hash tables) of t counters each.
@@ -33,7 +34,7 @@ type Sketch struct {
 // columns (bins per table), seeded deterministically.
 func New(rows, cols int, seed uint64) *Sketch {
 	if rows <= 0 || cols <= 0 {
-		panic(fmt.Sprintf("countmin: invalid dimensions %dx%d", rows, cols))
+		invariant.Failf("countmin: invalid dimensions %dx%d", rows, cols)
 	}
 	return &Sketch{
 		rows:   rows,
@@ -48,7 +49,7 @@ func New(rows, cols int, seed uint64) *Sketch {
 // rows = ceil(ln(1/delta)), cols = ceil(e/eps).
 func NewWithError(eps, delta float64, seed uint64) *Sketch {
 	if !(eps > 0 && eps < 1) || !(delta > 0 && delta < 1) {
-		panic("countmin: eps and delta must be in (0,1)")
+		invariant.Fail("countmin: eps and delta must be in (0,1)")
 	}
 	rows := int(math.Ceil(math.Log(1 / delta)))
 	cols := int(math.Ceil(math.E / eps))

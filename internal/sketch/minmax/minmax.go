@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"sketchml/internal/hashing"
+	"sketchml/internal/invariant"
 )
 
 // Empty marks a bin that has never been written.
@@ -49,7 +50,7 @@ type Sketch struct {
 // New creates a MinMaxSketch with the given shape. All bins start Empty.
 func New(rows, cols int, seed uint64) *Sketch {
 	if rows <= 0 || cols <= 0 {
-		panic(fmt.Sprintf("minmax: invalid dimensions %dx%d", rows, cols))
+		invariant.Failf("minmax: invalid dimensions %dx%d", rows, cols)
 	}
 	s := &Sketch{
 		rows:   rows,
@@ -77,7 +78,7 @@ func (s *Sketch) Inserted() int { return s.inserted }
 // minimum of its current content and idx (the paper's Min protocol).
 func (s *Sketch) Insert(key uint64, idx uint16) {
 	if idx > MaxIndex {
-		panic(fmt.Sprintf("minmax: index %d exceeds MaxIndex", idx))
+		invariant.Failf("minmax: index %d exceeds MaxIndex", idx)
 	}
 	for r := 0; r < s.rows; r++ {
 		cell := &s.cells[r*s.cols+s.family.Index(r, key)]
@@ -222,7 +223,7 @@ type Grouped struct {
 // bins each, covering bucket indexes [0, numBuckets).
 func NewGrouped(rows, totalCols, numBuckets, numGroups int, seed uint64) *Grouped {
 	if numGroups <= 0 || numBuckets <= 0 {
-		panic(fmt.Sprintf("minmax: invalid buckets=%d groups=%d", numBuckets, numGroups))
+		invariant.Failf("minmax: invalid buckets=%d groups=%d", numBuckets, numGroups)
 	}
 	if numGroups > numBuckets {
 		numGroups = numBuckets
@@ -252,7 +253,7 @@ func (g *Grouped) BucketsPerGroup() int { return g.bucketsPerGroup }
 // GroupOf returns the group that bucket belongs to.
 func (g *Grouped) GroupOf(bucket int) int {
 	if bucket < 0 || bucket >= g.numBuckets {
-		panic(fmt.Sprintf("minmax: bucket %d out of [0,%d)", bucket, g.numBuckets))
+		invariant.Failf("minmax: bucket %d out of [0,%d)", bucket, g.numBuckets)
 	}
 	return bucket / g.bucketsPerGroup
 }

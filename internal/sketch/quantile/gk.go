@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"sketchml/internal/invariant"
 )
 
 // tuple is one entry of the GK summary.
@@ -49,7 +51,7 @@ type GK struct {
 // eps must be in (0, 0.5].
 func New(eps float64) *GK {
 	if !(eps > 0 && eps <= 0.5) {
-		panic(fmt.Sprintf("quantile: eps %v out of (0, 0.5]", eps))
+		invariant.Failf("quantile: eps %v out of (0, 0.5]", eps)
 	}
 	bufCap := int(1.0/(2.0*eps)) + 1
 	if bufCap < 16 {
@@ -63,7 +65,7 @@ func New(eps float64) *GK {
 // "size of quantile sketch" hyper-parameter (default 128).
 func NewWithSize(m int) *GK {
 	if m < 2 {
-		panic("quantile: size must be at least 2")
+		invariant.Fail("quantile: size must be at least 2")
 	}
 	return New(1.0 / float64(m))
 }
@@ -85,7 +87,7 @@ func (s *GK) SummarySize() int {
 // because they have no rank.
 func (s *GK) Insert(v float64) {
 	if math.IsNaN(v) {
-		panic("quantile: cannot insert NaN")
+		invariant.Fail("quantile: cannot insert NaN")
 	}
 	s.buf = append(s.buf, v)
 	s.ordered = false
@@ -185,7 +187,7 @@ func (s *GK) Query(phi float64) (float64, error) {
 	if phi == 0 {
 		return s.tuples[0].value, nil
 	}
-	if phi == 1 {
+	if phi >= 1 { // validated phi <= 1 above; exact top rank
 		return s.tuples[len(s.tuples)-1].value, nil
 	}
 	target := int64(math.Ceil(phi * float64(s.n)))

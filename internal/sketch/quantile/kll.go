@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"sketchml/internal/invariant"
 )
 
 // KLL is a Karnin–Lang–Liberty quantile sketch — the algorithm behind the
@@ -33,7 +35,7 @@ type KLL struct {
 // compactor; 128–256 matches the paper's "size of quantile sketch").
 func NewKLL(k int, seed int64) *KLL {
 	if k < 8 {
-		panic(fmt.Sprintf("quantile: KLL k=%d too small (need >= 8)", k))
+		invariant.Failf("quantile: KLL k=%d too small (need >= 8)", k)
 	}
 	return &KLL{
 		k:      k,
@@ -74,7 +76,7 @@ func (s *KLL) capacityAt(level, numLevels int) int {
 // Insert adds one observation.
 func (s *KLL) Insert(v float64) {
 	if math.IsNaN(v) {
-		panic("quantile: cannot insert NaN")
+		invariant.Fail("quantile: cannot insert NaN")
 	}
 	s.levels[0] = append(s.levels[0], v)
 	s.n++
@@ -125,7 +127,7 @@ func (s *KLL) Query(phi float64) (float64, error) {
 	if phi == 0 {
 		return s.min, nil
 	}
-	if phi == 1 {
+	if phi >= 1 { // validated phi <= 1 above; exact top rank
 		return s.max, nil
 	}
 	type wv struct {

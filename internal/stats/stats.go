@@ -171,7 +171,7 @@ func (t *Table) AddRow(cells ...any) {
 func formatFloat(v float64) string {
 	a := math.Abs(v)
 	switch {
-	case v == math.Trunc(v) && a < 1e9:
+	case v == math.Trunc(v) && a < 1e9: //lint:allow float-equality exact is-integer test
 		return fmt.Sprintf("%.0f", v)
 	case a >= 1000 || (a < 0.001 && a > 0):
 		return fmt.Sprintf("%.3e", v)
@@ -243,10 +243,10 @@ func Plot(series []Series, width, height int) string {
 	if math.IsInf(minX, 1) {
 		return "(no data)\n"
 	}
-	if maxX == minX {
+	if maxX == minX { //lint:allow float-equality degenerate plot range guard
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY == minY { //lint:allow float-equality degenerate plot range guard
 		maxY = minY + 1
 	}
 	grid := make([][]byte, height)
