@@ -7,6 +7,9 @@
 
 GO       ?= go
 FUZZTIME ?= 10s
+# Flags for `make bench`; override with e.g. BENCHFLAGS=-benchtime=1x for a
+# smoke run that only checks the pipeline still works.
+BENCHFLAGS ?= -benchtime=0.5s
 
 # Native fuzz targets, as "package:Target" pairs. Go's fuzzer runs one
 # target per invocation, so the fuzz rule loops.
@@ -15,7 +18,7 @@ FUZZ_TARGETS := \
 	./internal/keycoding:FuzzDeltaRoundTrip \
 	./internal/keycoding:FuzzDecodeDeltaRobust
 
-.PHONY: all build fmt vet lint test race fuzz verify clean
+.PHONY: all build fmt vet lint test race fuzz bench verify clean
 
 all: verify
 
@@ -50,6 +53,17 @@ fuzz:
 		echo "fuzzing $$target in $$pkg for $(FUZZTIME)"; \
 		$(GO) test -run '^$$' -fuzz $$target -fuzztime $(FUZZTIME) $$pkg; \
 	done
+
+# bench runs the codec micro-benchmarks and rewrites the committed JSON
+# baseline. The text output still streams to the terminal; benchjson parses
+# the captured copy.
+bench:
+	@$(GO) test ./internal/codec -run '^$$' -bench BenchmarkEncodeDecode -benchmem -count=1 $(BENCHFLAGS) > bench.out || \
+		{ cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_codec.json < bench.out
+	@rm -f bench.out
+	@echo "bench: wrote BENCH_codec.json"
 
 verify: build fmt vet lint test race
 	@echo "verify: all gates passed"

@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark baselines can be committed and diffed
+// (BENCH_codec.json) instead of eyeballed from logs.
+//
+// Usage:
+//
+//	go test ./internal/codec -bench . -benchmem | benchjson -o BENCH_codec.json
+//
+// It parses the standard benchmark line format
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   3 allocs/op   1.5 custom-unit
+//
+// keeping ns/op, B/op, allocs/op as first-class fields and any extra
+// ReportMetric pairs in a metrics map. Context lines (goos/goarch/pkg/cpu)
+// are captured into the header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole document.
+type Report struct {
+	GOOS    string  `json:"goos,omitempty"`
+	GOARCH  string  `json:"goarch,omitempty"`
+	Pkg     string  `json:"pkg,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Results []Entry `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			e, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			rep.Results = append(rep.Results, e)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one benchmark result line: a name, an iteration count,
+// then (value, unit) pairs.
+func parseLine(line string) (Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Entry{}, fmt.Errorf("want at least name and iterations, have %d fields", len(fields))
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("iterations: %w", err)
+	}
+	e := Entry{Name: fields[0], Iterations: iters}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Entry{}, fmt.Errorf("odd number of value/unit fields: %d", len(rest))
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("value %q: %w", rest[i], err)
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	return e, nil
+}

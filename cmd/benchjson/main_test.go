@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: sketchml/internal/codec
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncodeDecode/Encode/q256_r8_nnz5000_par1-8   	     100	   1037263 ns/op	      15171 compressed-B/msg	  431960 B/op	     128 allocs/op
+BenchmarkEncodeDecode/Decode/q256_r8_nnz5000_par1-8   	     500	    249339 ns/op	      15171 compressed-B/msg	  171344 B/op	      32 allocs/op
+PASS
+ok  	sketchml/internal/codec	0.090s
+`
+	rep, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "sketchml/internal/codec" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(rep.Results))
+	}
+	e := rep.Results[0]
+	if e.Name != "BenchmarkEncodeDecode/Encode/q256_r8_nnz5000_par1-8" {
+		t.Errorf("name: %q", e.Name)
+	}
+	if e.Iterations != 100 || e.NsPerOp != 1037263 || e.BytesPerOp != 431960 || e.AllocsPerOp != 128 {
+		t.Errorf("fields: %+v", e)
+	}
+	if got := e.Metrics["compressed-B/msg"]; got != 15171 {
+		t.Errorf("custom metric: %v", got)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",                  // no iterations
+		"BenchmarkX notanumber",       // bad iterations
+		"BenchmarkX 10 42",            // dangling value without unit
+		"BenchmarkX 10 nan-ish ns/op", // bad value
+	} {
+		if _, err := parseLine(line); err == nil {
+			t.Errorf("parseLine(%q): want error, got nil", line)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("want 0 results, got %d", len(rep.Results))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 
 	"sketchml/internal/invariant"
 )
@@ -132,14 +133,35 @@ func (r *Reader) ReadAll(n int) ([]uint32, error) {
 // Layout: uint32 count | uint8 width | packed bytes.
 
 // AppendBlock packs values (each < 2^width) with a self-describing header.
+// It packs directly into dst — no intermediate writer buffer — so the only
+// allocation is dst's own growth, which callers on the codec hot path
+// amortize with pooled buffers.
 func AppendBlock(dst []byte, values []uint32, width int) []byte {
+	if width < 1 || width > 32 {
+		invariant.Failf("bitpack: width %d out of [1,32]", width)
+	}
+	dst = slices.Grow(dst, BlockSize(len(values), width))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(values)))
 	dst = append(dst, byte(width))
-	w := NewWriter(width)
+	uw := uint(width)
+	var cur uint64
+	var nbits uint
 	for _, v := range values {
-		w.Write(v)
+		if uw < 32 && v >= 1<<uw {
+			invariant.Failf("bitpack: value %d does not fit in %d bits", v, width)
+		}
+		cur |= uint64(v) << nbits
+		nbits += uw
+		for nbits >= 8 {
+			dst = append(dst, byte(cur))
+			cur >>= 8
+			nbits -= 8
+		}
 	}
-	return append(dst, w.Bytes()...)
+	if nbits > 0 {
+		dst = append(dst, byte(cur))
+	}
+	return dst
 }
 
 // DecodeBlock parses a block written by AppendBlock, returning the values
@@ -170,3 +192,26 @@ func DecodeBlock(data []byte) ([]uint32, int, error) {
 // BlockSize returns the serialized size of a block holding count width-bit
 // values.
 func BlockSize(count, width int) int { return 5 + PackedSize(count, width) }
+
+// BlockLen returns the total serialized length of the block at the head of
+// data without decoding its values — the block is self-describing, so the
+// length follows from the header alone. Used to locate pane boundaries for
+// parallel decoding.
+func BlockLen(data []byte) (int, error) {
+	if len(data) < 5 {
+		return 0, errors.New("bitpack: truncated block header")
+	}
+	count := int(binary.LittleEndian.Uint32(data))
+	width := int(data[4])
+	if width < 1 || width > 32 {
+		return 0, fmt.Errorf("bitpack: bad width %d", width)
+	}
+	if count < 0 || count > 1<<31 {
+		return 0, fmt.Errorf("bitpack: bad count %d", count)
+	}
+	need := BlockSize(count, width)
+	if len(data) < need {
+		return 0, fmt.Errorf("bitpack: need %d bytes, have %d", need, len(data))
+	}
+	return need, nil
+}

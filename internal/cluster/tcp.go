@@ -1,21 +1,34 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 )
 
 // maxFrame bounds a single message to guard against corrupt length headers.
 const maxFrame = 1 << 30
 
+// recvDirectLimit is the largest frame body allocated in one shot on
+// receive. Larger (still in-limit) frames grow their buffer as bytes
+// actually arrive off the wire, so a corrupt or hostile length header can
+// cost at most this much memory, not maxFrame.
+const recvDirectLimit = 1 << 20
+
 // tcpConn frames messages over a net.Conn with a little-endian uint32
-// length prefix.
+// length prefix. Send and Recv are each safe for any number of concurrent
+// callers: sends are serialized under a mutex and written as a single
+// vectored write so frames never interleave on the wire; receives are
+// serialized under their own mutex.
 type tcpConn struct {
-	c   net.Conn
-	hdr [4]byte
+	c      net.Conn
+	sendMu sync.Mutex
+	recvMu sync.Mutex
 }
 
 // WrapNetConn adapts a stream connection into a framed cluster Conn.
@@ -26,29 +39,51 @@ func (t *tcpConn) Send(msg []byte) error {
 	if len(msg) > maxFrame {
 		return fmt.Errorf("cluster: frame %d exceeds limit", len(msg))
 	}
-	binary.LittleEndian.PutUint32(t.hdr[:], uint32(len(msg)))
-	if _, err := t.c.Write(t.hdr[:]); err != nil {
-		return err
-	}
-	_, err := t.c.Write(msg)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	// One vectored write (writev on TCP) keeps header+body contiguous
+	// without copying the body; the mutex keeps whole frames atomic with
+	// respect to other senders.
+	bufs := net.Buffers{hdr[:], msg}
+	_, err := bufs.WriteTo(t.c)
 	return err
 }
 
 // Recv implements Conn.
 func (t *tcpConn) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
 	var hdr [4]byte
 	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
 	}
-	msg := make([]byte, n)
-	if _, err := io.ReadFull(t.c, msg); err != nil {
-		return nil, err
+	if n <= recvDirectLimit {
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(t.c, msg); err != nil {
+			return nil, fmt.Errorf("cluster: frame body: %w", err)
+		}
+		return msg, nil
 	}
-	return msg, nil
+	// Large frame: let the buffer grow as bytes arrive instead of trusting
+	// the header with an up-front allocation. bytes.Buffer.ReadFrom reads
+	// straight into its (geometrically grown) buffer, so a lying header
+	// costs at most one growth step beyond the data actually received.
+	var b bytes.Buffer
+	b.Grow(recvDirectLimit)
+	got, err := b.ReadFrom(io.LimitReader(t.c, int64(n)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: frame body: %w", err)
+	}
+	if got < int64(n) {
+		return nil, fmt.Errorf("cluster: frame body: %w", io.ErrUnexpectedEOF)
+	}
+	return b.Bytes(), nil
 }
 
 // Close implements Conn.
@@ -84,17 +119,62 @@ func (l *Listener) Accept() (Conn, error) {
 // Close stops the listener.
 func (l *Listener) Close() error { return l.l.Close() }
 
-// Dial connects to a framed TCP listener, retrying briefly so workers can
-// start before the driver finishes binding.
+// Dial retry policy. Variables rather than constants so tests can shrink
+// the deadline.
+var (
+	dialAttemptTimeout = 1 * time.Second
+	dialInitialBackoff = 10 * time.Millisecond
+	dialMaxBackoff     = 500 * time.Millisecond
+	dialDeadline       = 5 * time.Second
+)
+
+// Dial connects to a framed TCP listener. Transient failures (connection
+// refused while the driver is still binding, timeouts) are retried with
+// exponential backoff until dialDeadline; permanent failures (unresolvable
+// host, malformed address) abort immediately. The returned error wraps the
+// last dial error and records how many attempts were made.
 func Dial(addr string) (Conn, error) {
+	deadline := time.Now().Add(dialDeadline)
+	backoff := dialInitialBackoff
 	var lastErr error
-	for attempt := 0; attempt < 50; attempt++ {
-		c, err := net.DialTimeout("tcp", addr, time.Second)
+	for attempt := 1; ; attempt++ {
+		c, err := net.DialTimeout("tcp", addr, dialAttemptTimeout)
 		if err == nil {
 			return WrapNetConn(c), nil
 		}
 		lastErr = err
-		time.Sleep(20 * time.Millisecond)
+		if !transientDialError(err) {
+			return nil, fmt.Errorf("cluster: dial %s: permanent error after %d attempt(s): %w",
+				addr, attempt, lastErr)
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("cluster: dial %s: gave up after %d attempt(s): %w",
+				addr, attempt, lastErr)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > dialMaxBackoff {
+			backoff = dialMaxBackoff
+		}
 	}
-	return nil, fmt.Errorf("cluster: dial %s: %w", addr, lastErr)
+}
+
+// transientDialError reports whether a dial failure is worth retrying.
+// Connection refused and timeouts are the expected startup race (workers
+// dialing before the driver binds); a hostname that does not resolve or an
+// address that cannot be parsed will not heal with time.
+func transientDialError(err error) bool {
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return dnsErr.IsTemporary || dnsErr.IsTimeout
+	}
+	var addrErr *net.AddrError
+	if errors.As(err, &addrErr) {
+		return false
+	}
+	// "unknown port" style parse failures surface as plain OpErrors wrapping
+	// net.ParseError or strconv errors; treat anything that is not a
+	// syscall-level connect failure conservatively as transient, except the
+	// address classes above.
+	return true
 }

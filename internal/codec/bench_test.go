@@ -1,0 +1,82 @@
+package codec
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkEncodeDecode measures the codec hot path across the operating
+// points that matter for the paper's economics: bucket count q (quantization
+// resolution), group count r (MinMaxSketch splitting), gradient sparsity,
+// and the Parallelism knob. Each point benches Encode and Decode separately
+// with allocation reporting, so `make bench` tracks both ns/op and
+// allocs/op regressions. compressed-B/msg reports the wire size, tying the
+// CPU cost to the bytes it saves.
+func BenchmarkEncodeDecode(b *testing.B) {
+	type point struct {
+		buckets int // q
+		groups  int // r
+		nnz     int
+		par     int // 0 = GOMAXPROCS
+	}
+	points := []point{
+		{256, 8, 500, 1},
+		{256, 8, 5000, 1},
+		{256, 8, 5000, 0},
+		{256, 8, 50000, 1},
+		{256, 8, 50000, 0},
+		{64, 8, 5000, 1},
+		{256, 16, 5000, 1},
+	}
+	rng := rand.New(rand.NewSource(77))
+	grads := map[int]*gradientArg{}
+	for _, p := range points {
+		if grads[p.nnz] == nil {
+			grads[p.nnz] = &gradientArg{randomGradient(rng, 1<<22, p.nnz)}
+		}
+	}
+
+	for _, p := range points {
+		opts := DefaultOptions()
+		opts.Buckets = p.buckets
+		opts.Groups = p.groups
+		opts.Parallelism = p.par
+		c := MustSketchML(opts)
+		g := grads[p.nnz].g
+
+		// par=0 means "all cores"; label it by what it resolved to, with a
+		// "max" marker so the name never collides with an explicit level on
+		// machines where GOMAXPROCS happens to equal it.
+		parLabel := fmt.Sprintf("par%d", p.par)
+		if p.par == 0 {
+			parLabel = fmt.Sprintf("parmax%d", runtime.GOMAXPROCS(0))
+		}
+		name := fmt.Sprintf("q%d_r%d_nnz%d_%s", p.buckets, p.groups, p.nnz, parLabel)
+
+		msg, err := c.Encode(g)
+		if err != nil {
+			b.Fatalf("%s: encode: %v", name, err)
+		}
+
+		b.Run("Encode/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(len(msg)), "compressed-B/msg")
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Decode/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(len(msg)), "compressed-B/msg")
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Decode(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,10 @@ type Codec interface {
 	// (sorted unique keys, finite values).
 	Encode(g *gradient.Sparse) ([]byte, error)
 	// Decode reconstructs a gradient from a message produced by Encode.
+	// Decode must be safe for concurrent use: the trainer's driver decodes
+	// the W worker messages of a round on W goroutines sharing one codec
+	// instance. (Encode may be stateful — e.g. ErrorFeedback's residual —
+	// which is why stateful codecs are built per party via CodecFactory.)
 	Decode(data []byte) (*gradient.Sparse, error)
 }
 

@@ -1,0 +1,129 @@
+package codec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the concurrency and buffer-reuse machinery behind the
+// SketchML codec hot path. The paper's economics (Section 4.3, Figure 8c)
+// only work while compression CPU stays far below the communication time it
+// saves, so the codec must exploit cores and avoid allocator churn:
+//
+//   - forEach is a bounded worker pool over an index space. Every output is
+//     written to a pre-owned position and errors are selected by lowest
+//     index, so results are deterministic regardless of scheduling.
+//   - The sync.Pool families recycle the per-message scratch (pane output
+//     buffers, sign-partition slices, bucket-index arrays) that used to be
+//     reallocated on every Encode/Decode call.
+//
+// Wire bytes are bit-identical at every parallelism level: panes are
+// independent and spliced in paneID order, group scatter preserves key
+// order, and nothing on the encode path depends on goroutine interleaving.
+
+// parallelism resolves Options.Parallelism: 0 means one worker per
+// available CPU, 1 pins the serial path.
+func (c *SketchML) parallelism() int {
+	if p := c.opts.Parallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn over [0, n) on at most par goroutines. When par <= 1 (or
+// n <= 1) it degrades to a plain loop with early exit. Under concurrency
+// every index runs exactly once and the returned error is the one from the
+// lowest failing index, keeping error reporting deterministic.
+func forEach(par, n int, fn func(i int) error) error {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- scratch pools ----
+//
+// Pools hold pointers to slices (not slices) so Put does not allocate a
+// fresh interface box per cycle. getX returns a slice with the requested
+// length; the caller must putX it back when the data is dead. Pooled memory
+// is never handed to the caller of Encode/Decode — decoded gradients and
+// encoded messages own their backing arrays outright.
+
+var (
+	bytePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+	u64Pool  = sync.Pool{New: func() any { b := make([]uint64, 0, 1024); return &b }}
+	f64Pool  = sync.Pool{New: func() any { b := make([]float64, 0, 1024); return &b }}
+	u32Pool  = sync.Pool{New: func() any { b := make([]uint32, 0, 1024); return &b }}
+)
+
+func getBytes() *[]byte {
+	b := bytePool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+func putBytes(b *[]byte) { bytePool.Put(b) }
+
+func getU64(n int) *[]uint64 {
+	b := u64Pool.Get().(*[]uint64)
+	if cap(*b) < n {
+		*b = make([]uint64, n)
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+func putU64(b *[]uint64) { u64Pool.Put(b) }
+
+func getF64(n int) *[]float64 {
+	b := f64Pool.Get().(*[]float64)
+	if cap(*b) < n {
+		*b = make([]float64, n)
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+func putF64(b *[]float64) { f64Pool.Put(b) }
+
+func getU32(n int) *[]uint32 {
+	b := u32Pool.Get().(*[]uint32)
+	if cap(*b) < n {
+		*b = make([]uint32, n)
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+func putU32(b *[]uint32) { u32Pool.Put(b) }

@@ -1,0 +1,138 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelismBitIdentical pins the tentpole invariant of the parallel
+// codec: the wire bytes are a pure function of (gradient, Options minus
+// Parallelism). Encoding at Parallelism 1, 2, and GOMAXPROCS must produce
+// byte-identical messages, and decoding any of them at any parallelism must
+// recover the same gradient. Without this, the golden wire tests and
+// cross-worker reproducibility would silently depend on core count.
+func TestParallelismBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	grads := map[string]*gradientArg{
+		"dense-ish": {randomGradient(rng, 2000, 900)},
+		"sparse":    {randomGradient(rng, 300000, 700)},
+		"tiny":      {randomGradient(rng, 64, 3)},
+	}
+	variants := map[string]Options{
+		"default": DefaultOptions(),
+		"no-minmax": func() Options {
+			o := DefaultOptions()
+			o.MinMax = false
+			return o
+		}(),
+		"keys-only": func() Options {
+			o := DefaultOptions()
+			o.Quantize = false
+			o.MinMax = false
+			return o
+		}(),
+	}
+	levels := []int{1, 2, runtime.GOMAXPROCS(0)}
+
+	for gname, ga := range grads {
+		for vname, opts := range variants {
+			var ref []byte
+			for _, par := range levels {
+				o := opts
+				o.Parallelism = par
+				c := MustSketchML(o)
+				msg, err := c.Encode(ga.g)
+				if err != nil {
+					t.Fatalf("%s/%s par=%d: encode: %v", gname, vname, par, err)
+				}
+				if ref == nil {
+					ref = msg
+				} else if !bytes.Equal(ref, msg) {
+					t.Errorf("%s/%s: Parallelism=%d produced different bytes than Parallelism=1",
+						gname, vname, par)
+				}
+			}
+
+			// Every parallelism level must decode the reference message to
+			// the same gradient.
+			var refKeys []uint64
+			var refVals []float64
+			for _, par := range levels {
+				o := opts
+				o.Parallelism = par
+				c := MustSketchML(o)
+				got, err := c.Decode(ref)
+				if err != nil {
+					t.Fatalf("%s/%s par=%d: decode: %v", gname, vname, par, err)
+				}
+				if got.Dim != ga.g.Dim || got.NNZ() != ga.g.NNZ() {
+					t.Fatalf("%s/%s par=%d: shape mismatch dim=%d nnz=%d",
+						gname, vname, par, got.Dim, got.NNZ())
+				}
+				if refKeys == nil {
+					refKeys, refVals = got.Keys, got.Values
+					continue
+				}
+				for i := range refKeys {
+					if got.Keys[i] != refKeys[i] {
+						t.Fatalf("%s/%s par=%d: key %d differs from serial decode",
+							gname, vname, par, i)
+					}
+					if got.Values[i] != refVals[i] {
+						t.Fatalf("%s/%s par=%d: value %d differs from serial decode",
+							gname, vname, par, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismOptionValidated rejects a negative knob at construction.
+func TestParallelismOptionValidated(t *testing.T) {
+	o := DefaultOptions()
+	o.Parallelism = -1
+	if _, err := NewSketchML(o); err == nil {
+		t.Fatal("NewSketchML accepted negative Parallelism")
+	}
+}
+
+// TestForEachRunsAllAndPicksLowestError checks the worker pool's two
+// contracts: every index runs exactly once, and under multiple failures the
+// reported error is the one from the lowest index regardless of scheduling.
+func TestForEachRunsAllAndPicksLowestError(t *testing.T) {
+	const n = 1000
+	for _, par := range []int{1, 2, 7, 64} {
+		var ran [n]atomic.Int32
+		if err := forEach(par, n, func(i int) error {
+			ran[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("par=%d: unexpected error: %v", par, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("par=%d: index %d ran %d times", par, i, got)
+			}
+		}
+
+		errLow := errors.New("low")
+		errHigh := errors.New("high")
+		err := forEach(par, n, func(i int) error {
+			switch i {
+			case 17:
+				return errLow
+			case 900:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("par=%d: want lowest-index error, got %v", par, err)
+		}
+	}
+}

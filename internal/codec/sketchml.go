@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,12 @@ type Options struct {
 	Groups int
 	// Seed selects the hash family shared by encoder and decoder.
 	Seed uint64
+	// Parallelism bounds the worker pool used for the codec hot path:
+	// panes encode concurrently and pane/group reconstruction decodes
+	// concurrently. 0 (the default) means one worker per available CPU
+	// (GOMAXPROCS); 1 pins the serial path. The encoded bytes are
+	// bit-identical at every setting — parallelism only changes wall time.
+	Parallelism int
 	// Algo selects the quantile sketch implementation: GK (default) or
 	// KLL, the algorithm behind the DataSketches library the paper used.
 	// The choice never affects the wire format — only split quality.
@@ -87,6 +94,9 @@ func NewSketchML(opts Options) (*SketchML, error) {
 	}
 	if opts.Groups < 1 {
 		return nil, fmt.Errorf("codec: Groups %d < 1", opts.Groups)
+	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("codec: Parallelism %d < 0", opts.Parallelism)
 	}
 	if opts.MinMax && !opts.Quantize {
 		return nil, errors.New("codec: MinMax requires Quantize")
@@ -164,7 +174,11 @@ func (c *SketchML) encode(g *gradient.Sparse) ([]byte, Breakdown, error) {
 	if wide {
 		flags |= smFlagWideKeys
 	}
-	out := []byte{tagSketchML, flags}
+	// Presize for the common shape: fixed header, two means tables, ~2.5
+	// bytes per key after delta/bitpack compression. Undershoot only costs
+	// one growth step.
+	out := make([]byte, 0, 64+16*c.opts.Buckets+3*len(g.Keys))
+	out = append(out, tagSketchML, flags)
 	out = appendU64(out, g.Dim)
 	out = appendU32(out, uint32(len(g.Keys)))
 	// Rotate the hash seed per message, derived deterministically from the
@@ -197,9 +211,19 @@ func (c *SketchML) encode(g *gradient.Sparse) ([]byte, Breakdown, error) {
 	out = appendU32(out, uint32(c.opts.Buckets))
 	bd.Header += 4
 
-	// Partition into sign panes, preserving ascending key order.
-	var posKeys, negKeys []uint64
-	var posVals, negMags []float64
+	// Partition into sign panes, preserving ascending key order. Both panes
+	// share one pooled backing array each for keys and magnitudes: the
+	// positive pane fills [0, npos), the negative pane [npos, n).
+	n := len(g.Values)
+	npos := 0
+	for _, v := range g.Values {
+		if v >= 0 {
+			npos++
+		}
+	}
+	kbuf, vbuf := getU64(n), getF64(n)
+	posKeys, negKeys := (*kbuf)[0:0:npos], (*kbuf)[npos:npos]
+	posVals, negMags := (*vbuf)[0:0:npos], (*vbuf)[npos:npos]
 	for i, v := range g.Values {
 		if v >= 0 {
 			posKeys = append(posKeys, g.Keys[i])
@@ -209,14 +233,45 @@ func (c *SketchML) encode(g *gradient.Sparse) ([]byte, Breakdown, error) {
 			negMags = append(negMags, -v)
 		}
 	}
-	var err error
-	out, err = c.encodePane(out, &bd, msgSeed, g.Dim, posKeys, posVals, 0, wide)
-	if err != nil {
-		return nil, bd, err
+	defer putU64(kbuf)
+	defer putF64(vbuf)
+
+	paneKeys := [2][]uint64{posKeys, negKeys}
+	paneVals := [2][]float64{posVals, negMags}
+	if par := c.parallelism(); par > 1 {
+		// Panes are independent; encode them concurrently into pooled
+		// buffers and splice in paneID order for bit-identical output.
+		var bufs [2]*[]byte
+		var bds [2]Breakdown
+		for i := range bufs {
+			bufs[i] = getBytes()
+		}
+		defer putBytes(bufs[0])
+		defer putBytes(bufs[1])
+		err := forEach(par, 2, func(i int) error {
+			var perr error
+			*bufs[i], perr = c.encodePane((*bufs[i])[:0], &bds[i], msgSeed, g.Dim,
+				paneKeys[i], paneVals[i], uint64(i), wide)
+			return perr
+		})
+		if err != nil {
+			return nil, bd, err
+		}
+		for i := range bufs {
+			out = append(out, *bufs[i]...)
+			bd.Header += bds[i].Header
+			bd.Keys += bds[i].Keys
+			bd.Values += bds[i].Values
+			bd.Meta += bds[i].Meta
+		}
+		return out, bd, nil
 	}
-	out, err = c.encodePane(out, &bd, msgSeed, g.Dim, negKeys, negMags, 1, wide)
-	if err != nil {
-		return nil, bd, err
+	var err error
+	for i := 0; i < 2; i++ {
+		out, err = c.encodePane(out, &bd, msgSeed, g.Dim, paneKeys[i], paneVals[i], uint64(i), wide)
+		if err != nil {
+			return nil, bd, err
+		}
 	}
 	return out, bd, nil
 }
@@ -276,11 +331,13 @@ func (c *SketchML) encodePane(out []byte, bd *Breakdown, msgSeed uint64, dim uin
 		}
 		bd.Keys += len(out) - mark
 		mark = len(out)
-		idx := make([]uint32, len(keys))
+		idxBuf := getU32(len(keys))
+		idx := *idxBuf
 		for i, v := range vals {
 			idx[i] = uint32(z.Bucket(v))
 		}
 		out = bitpack.AppendBlock(out, idx, bitpack.BitsFor(len(means)))
+		putU32(idxBuf)
 		bd.Values += len(out) - mark
 		return out, nil
 	}
@@ -306,24 +363,55 @@ func (c *SketchML) encodePane(out []byte, bd *Breakdown, msgSeed uint64, dim uin
 	}
 	paneSeed := hashing.Mix64(paneID, msgSeed)
 	grouped := minmax.NewGrouped(c.opts.Rows, cols, len(means), groups, paneSeed)
-	groupKeys := make([][]uint64, grouped.NumGroups())
-	for i, k := range keys {
-		grp := grouped.Insert(k, z.Bucket(vals[i]))
-		groupKeys[grp] = append(groupKeys[grp], k) // stays ascending
+	ng := grouped.NumGroups()
+
+	// Route each key to its group with a counting scatter over one pooled
+	// flat buffer instead of growing ng separate lists: pass 1 buckets the
+	// values (also feeding the sketch inserts), pass 2 scatters keys to
+	// contiguous per-group regions. Scattering in key order keeps every
+	// group slice ascending — the same lists, hence the same bytes, the
+	// per-group append construction produced.
+	bucketBuf := getU32(len(keys))
+	buckets := *bucketBuf
+	counts := make([]int, ng+1)
+	for i, v := range vals {
+		b := z.Bucket(v)
+		buckets[i] = uint32(b)
+		counts[grouped.GroupOf(b)+1]++
 	}
+	for i, k := range keys {
+		grouped.Insert(k, int(buckets[i]))
+	}
+	for g := 1; g <= ng; g++ {
+		counts[g] += counts[g-1] // now counts[g] is group g's start offset
+	}
+	flatBuf := getU64(len(keys))
+	flat := *flatBuf
+	cursors := make([]int, ng)
+	copy(cursors, counts[:ng])
+	for i, k := range keys {
+		grp := grouped.GroupOf(int(buckets[i]))
+		flat[cursors[grp]] = k
+		cursors[grp]++
+	}
+	putU32(bucketBuf)
+
 	mark = len(out)
 	out, err = grouped.AppendBinary(out)
 	if err != nil {
+		putU64(flatBuf)
 		return nil, err
 	}
 	bd.Values += len(out) - mark
 	mark = len(out)
-	for _, gk := range groupKeys {
-		out, err = c.appendKeys(out, gk, wide)
+	for grp := 0; grp < ng; grp++ {
+		out, err = c.appendKeys(out, flat[counts[grp]:counts[grp+1]], wide)
 		if err != nil {
+			putU64(flatBuf)
 			return nil, err
 		}
 	}
+	putU64(flatBuf)
 	bd.Keys += len(out) - mark
 	return out, nil
 }
@@ -437,20 +525,69 @@ func (c *SketchML) Decode(data []byte) (*gradient.Sparse, error) {
 	}
 	var lists [][]uint64
 	var vlists [][]float64
-	for paneID := uint64(0); paneID < 2; paneID++ {
-		pk, pv, err := decodePane(r, delta, mm, wide, paneID, seed)
+	par := c.parallelism()
+	if par > 1 {
+		// Locate the pane boundary with a cheap structural scan (headers and
+		// flag streams only — no key or sketch materialization), then decode
+		// both panes concurrently. Each pane writes to its own result slot,
+		// so the merged output is deterministic.
+		rest := r.rest()
+		len0, err := skipPane(rest, delta, mm, wide)
 		if err != nil {
-			return nil, fmt.Errorf("codec: pane %d: %w", paneID, err)
+			return nil, fmt.Errorf("codec: pane 0: %w", err)
 		}
-		if paneID == 1 {
-			for _, list := range pv {
-				for i := range list {
-					list[i] = -list[i]
+		paneData := [2][]byte{rest[:len0], rest[len0:]}
+		var paneLists [2][][]uint64
+		var paneVLists [2][][]float64
+		consumed := len0
+		gpar := par / 2
+		if gpar < 1 {
+			gpar = 1
+		}
+		err = forEach(par, 2, func(i int) error {
+			pr := &reader{data: paneData[i]}
+			pk, pv, perr := decodePane(pr, delta, mm, wide, uint64(i), seed, gpar)
+			if perr != nil {
+				return fmt.Errorf("codec: pane %d: %w", i, perr)
+			}
+			if i == 1 {
+				for _, list := range pv {
+					for j := range list {
+						list[j] = -list[j]
+					}
+				}
+				consumed += pr.off // pane 1's tail offset; pane 0 consumed len0 by construction
+			}
+			paneLists[i] = pk
+			paneVLists[i] = pv
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := r.advance(consumed); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 2; i++ {
+			lists = append(lists, paneLists[i]...)
+			vlists = append(vlists, paneVLists[i]...)
+		}
+	} else {
+		for paneID := uint64(0); paneID < 2; paneID++ {
+			pk, pv, err := decodePane(r, delta, mm, wide, paneID, seed, 1)
+			if err != nil {
+				return nil, fmt.Errorf("codec: pane %d: %w", paneID, err)
+			}
+			if paneID == 1 {
+				for _, list := range pv {
+					for i := range list {
+						list[i] = -list[i]
+					}
 				}
 			}
+			lists = append(lists, pk...)
+			vlists = append(vlists, pv...)
 		}
-		lists = append(lists, pk...)
-		vlists = append(vlists, pv...)
 	}
 	g, err := mergeSortedLists(dim, lists, vlists)
 	if err != nil {
@@ -462,9 +599,90 @@ func (c *SketchML) Decode(data []byte) (*gradient.Sparse, error) {
 	return g, nil
 }
 
+// skipPane returns the encoded length of one sign pane at the head of data
+// without materializing keys, values, or sketches — only fixed headers and
+// the delta flag streams are touched. It is the cheap structural scan that
+// lets the decoder hand whole panes to parallel workers.
+func skipPane(data []byte, delta, mm, wide bool) (int, error) {
+	if len(data) < 4 {
+		return 0, errTruncated
+	}
+	paneCount := binary.LittleEndian.Uint32(data)
+	off := 4
+	if paneCount == 0 {
+		return off, nil
+	}
+	if len(data) < off+4 {
+		return 0, errTruncated
+	}
+	nMeans := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if nMeans == 0 || nMeans > 1<<16 {
+		return 0, fmt.Errorf("implausible means count %d", nMeans)
+	}
+	if len(data)-off < int(nMeans)*8 {
+		return 0, errTruncated
+	}
+	off += int(nMeans) * 8
+
+	skipKeys := func() error {
+		if delta {
+			_, used, err := keycoding.SkipDelta(data[off:])
+			if err != nil {
+				return err
+			}
+			off += used
+			return nil
+		}
+		if len(data)-off < 4 {
+			return errTruncated
+		}
+		count := int(binary.LittleEndian.Uint32(data[off:]))
+		kb := 4
+		if wide {
+			kb = 8
+		}
+		need := 4 + count*kb
+		if count < 0 || len(data)-off < need {
+			return errTruncated
+		}
+		off += need
+		return nil
+	}
+
+	if !mm {
+		if err := skipKeys(); err != nil {
+			return 0, err
+		}
+		used, err := bitpack.BlockLen(data[off:])
+		if err != nil {
+			return 0, err
+		}
+		return off + used, nil
+	}
+
+	if len(data)-off < 4 {
+		return 0, errTruncated
+	}
+	numGroups := int(binary.LittleEndian.Uint32(data[off:])) // grouped header leads with n
+	used, err := minmax.SkipGrouped(data[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += used
+	for grp := 0; grp < numGroups; grp++ {
+		if err := skipKeys(); err != nil {
+			return 0, fmt.Errorf("group %d keys: %w", grp, err)
+		}
+	}
+	return off, nil
+}
+
 // decodePane parses one sign pane, returning per-group ascending key lists
-// and their decoded magnitude lists.
-func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64) ([][]uint64, [][]float64, error) {
+// and their decoded magnitude lists. par bounds the workers used for value
+// reconstruction across groups (the structural parse is inherently
+// sequential in the byte stream).
+func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) ([][]uint64, [][]float64, error) {
 	paneCount, err := r.u32()
 	if err != nil {
 		return nil, nil, err
@@ -519,26 +737,60 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64) ([][]uint6
 	if err := r.advance(used); err != nil {
 		return nil, nil, err
 	}
-	keyLists := make([][]uint64, grouped.NumGroups())
-	valLists := make([][]float64, grouped.NumGroups())
-	for grp := 0; grp < grouped.NumGroups(); grp++ {
+	// The key lists are parsed sequentially (each one's offset depends on
+	// the previous), then the sketch queries — the dominant decode cost —
+	// fan out across groups. Queries are read-only on the sketch and every
+	// group writes only its own slot, so the result is deterministic.
+	ng := grouped.NumGroups()
+	keyLists := make([][]uint64, ng)
+	valLists := make([][]float64, ng)
+	for grp := 0; grp < ng; grp++ {
 		keys, err := decodeKeys(r, delta, wide)
 		if err != nil {
 			return nil, nil, fmt.Errorf("group %d keys: %w", grp, err)
 		}
+		keyLists[grp] = keys
+	}
+	if par <= 1 {
+		// The loop body is duplicated rather than shared through a closure:
+		// a func value handed to forEach anywhere in this function is
+		// heap-allocated on every call, which would charge the serial decode
+		// path two allocations it never had before parallelization.
+		for grp := 0; grp < ng; grp++ {
+			keys := keyLists[grp]
+			vals := make([]float64, len(keys))
+			for i, k := range keys {
+				b, ok := grouped.Query(grp, k)
+				if !ok {
+					return nil, nil, fmt.Errorf("group %d: key %d missing from sketch", grp, k)
+				}
+				if b >= len(means) {
+					b = len(means) - 1
+				}
+				vals[i] = means[b]
+			}
+			valLists[grp] = vals
+		}
+		return keyLists, valLists, nil
+	}
+	err = forEach(par, ng, func(grp int) error {
+		keys := keyLists[grp]
 		vals := make([]float64, len(keys))
 		for i, k := range keys {
 			b, ok := grouped.Query(grp, k)
 			if !ok {
-				return nil, nil, fmt.Errorf("group %d: key %d missing from sketch", grp, k)
+				return fmt.Errorf("group %d: key %d missing from sketch", grp, k)
 			}
 			if b >= len(means) {
 				b = len(means) - 1
 			}
 			vals[i] = means[b]
 		}
-		keyLists[grp] = keys
 		valLists[grp] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return keyLists, valLists, nil
 }

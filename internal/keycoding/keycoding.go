@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // flag values: number of bytes used for a delta is flag+1.
@@ -49,6 +50,10 @@ func bytesNeeded(d uint64) int {
 //
 // Layout: uint32 count | uint64 first key | ceil(count-1 flags at 2 bits)
 // flag bytes | variable-width delta bytes (little endian).
+//
+// The flag region is reserved in dst up front and filled in place while the
+// delta bytes are appended behind it, so encoding allocates nothing beyond
+// dst's own growth.
 func AppendDelta(dst []byte, keys []uint64) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
 	if len(keys) == 0 {
@@ -60,8 +65,11 @@ func AppendDelta(dst []byte, keys []uint64) ([]byte, error) {
 		return dst, nil
 	}
 
-	flags := make([]byte, (n*flagBits+7)/8)
-	body := make([]byte, 0, n) // most deltas take 1 byte
+	flagLen := (n*flagBits + 7) / 8
+	dst = slices.Grow(dst, flagLen+n) // flags + ≥1 body byte per delta
+	flagOff := len(dst)
+	dst = dst[:flagOff+flagLen]
+	clear(dst[flagOff:]) // grown capacity may hold stale pooled bytes
 	for i := 1; i < len(keys); i++ {
 		if keys[i] <= keys[i-1] {
 			return nil, fmt.Errorf("%w: keys[%d]=%d <= keys[%d]=%d",
@@ -71,19 +79,17 @@ func AppendDelta(dst []byte, keys []uint64) ([]byte, error) {
 		j := i - 1
 		if d >= escape4 {
 			// 4-byte escape marker followed by the 8-byte delta.
-			flags[j/4] |= 3 << uint((j%4)*flagBits)
-			body = append(body, 0xFF, 0xFF, 0xFF, 0xFF)
-			body = binary.LittleEndian.AppendUint64(body, d)
+			dst[flagOff+j/4] |= 3 << uint((j%4)*flagBits)
+			dst = append(dst, 0xFF, 0xFF, 0xFF, 0xFF)
+			dst = binary.LittleEndian.AppendUint64(dst, d)
 			continue
 		}
 		nb := bytesNeeded(d)
-		flags[j/4] |= byte(nb-1) << uint((j%4)*flagBits)
+		dst[flagOff+j/4] |= byte(nb-1) << uint((j%4)*flagBits)
 		for b := 0; b < nb; b++ {
-			body = append(body, byte(d>>(8*uint(b))))
+			dst = append(dst, byte(d>>(8*uint(b))))
 		}
 	}
-	dst = append(dst, flags...)
-	dst = append(dst, body...)
 	return dst, nil
 }
 
@@ -143,6 +149,55 @@ func DecodeDelta(data []byte) ([]uint64, int, error) {
 		}
 	}
 	return keys, off, nil
+}
+
+// SkipDelta returns the number of keys and the encoded length of a delta
+// key block at the head of data without materializing the keys. It walks
+// only the flag stream (plus the escape markers), so it is much cheaper
+// than DecodeDelta — the codec uses it to locate pane boundaries for
+// parallel decoding. It fails under the same truncation conditions as
+// DecodeDelta.
+func SkipDelta(data []byte) (count, size int, err error) {
+	if len(data) < 4 {
+		return 0, 0, errors.New("keycoding: truncated count")
+	}
+	count = int(binary.LittleEndian.Uint32(data))
+	off := 4
+	if count == 0 {
+		return 0, off, nil
+	}
+	if len(data) < off+8 {
+		return 0, 0, errors.New("keycoding: truncated first key")
+	}
+	if minNeed := off + 8 + (count - 1) + ((count-1)*flagBits+7)/8; count < 0 || len(data) < minNeed {
+		return 0, 0, fmt.Errorf("keycoding: count %d exceeds available bytes", count)
+	}
+	off += 8
+	n := count - 1
+	if n == 0 {
+		return count, off, nil
+	}
+	flagLen := (n*flagBits + 7) / 8
+	if len(data) < off+flagLen {
+		return 0, 0, errors.New("keycoding: truncated flags")
+	}
+	flags := data[off : off+flagLen]
+	off += flagLen
+	for j := 0; j < n; j++ {
+		nb := int(flags[j/4]>>uint((j%4)*flagBits))&0x3 + 1
+		if len(data) < off+nb {
+			return 0, 0, fmt.Errorf("keycoding: truncated delta %d", j+1)
+		}
+		if nb == 4 && binary.LittleEndian.Uint32(data[off:]) == uint32(escape4) {
+			if len(data) < off+12 {
+				return 0, 0, fmt.Errorf("keycoding: truncated wide delta %d", j+1)
+			}
+			off += 12
+			continue
+		}
+		off += nb
+	}
+	return count, off, nil
 }
 
 // DeltaSize returns the exact encoded size of keys without materializing

@@ -3,6 +3,7 @@ package trainer
 import (
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -12,11 +13,13 @@ import (
 )
 
 // faultyCodec wraps a working codec and starts failing after `failAfter`
-// operations, simulating a mid-training fault.
+// operations, simulating a mid-training fault. The op counter is atomic
+// because Decode must be concurrency-safe (the driver decodes worker
+// messages on W goroutines sharing one codec).
 type faultyCodec struct {
 	inner      codec.Codec
-	failAfter  int
-	ops        int
+	failAfter  int64
+	ops        atomic.Int64
 	failEncode bool
 	failDecode bool
 }
@@ -24,16 +27,14 @@ type faultyCodec struct {
 func (f *faultyCodec) Name() string { return "faulty" }
 
 func (f *faultyCodec) Encode(g *gradient.Sparse) ([]byte, error) {
-	f.ops++
-	if f.failEncode && f.ops > f.failAfter {
+	if f.ops.Add(1) > f.failAfter && f.failEncode {
 		return nil, errors.New("injected encode fault")
 	}
 	return f.inner.Encode(g)
 }
 
 func (f *faultyCodec) Decode(data []byte) (*gradient.Sparse, error) {
-	f.ops++
-	if f.failDecode && f.ops > f.failAfter {
+	if f.ops.Add(1) > f.failAfter && f.failDecode {
 		return nil, errors.New("injected decode fault")
 	}
 	return f.inner.Decode(data)
@@ -43,8 +44,8 @@ func (f *faultyCodec) Decode(data []byte) (*gradient.Sparse, error) {
 // so the RECEIVER's decode fails rather than the sender's encode.
 type corruptingCodec struct {
 	inner codec.Codec
-	ops   int
-	after int
+	ops   atomic.Int64
+	after int64
 }
 
 func (c *corruptingCodec) Name() string { return "corrupting" }
@@ -54,8 +55,7 @@ func (c *corruptingCodec) Encode(g *gradient.Sparse) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.ops++
-	if c.ops > c.after && len(msg) > 4 {
+	if c.ops.Add(1) > c.after && len(msg) > 4 {
 		return msg[:len(msg)/2], nil
 	}
 	return msg, nil

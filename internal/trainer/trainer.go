@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"sketchml/internal/cluster"
@@ -331,21 +332,15 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		var driverDecode, driverEncode time.Duration
 
 		for round := 0; round < roundsPerEpoch; round++ {
-			// Gather worker gradients.
-			for w := 0; w < cfg.Workers; w++ {
-				msg, err := driverSide[w].Recv()
-				if err != nil {
-					return nil, fmt.Errorf("trainer: recv from worker %d: %w", w, err)
-				}
-				t0 := time.Now()
-				g, err := cfg.Codec.Decode(msg)
-				driverDecode += time.Since(t0)
-				if err != nil {
-					return nil, fmt.Errorf("trainer: decode from worker %d: %w", w, err)
-				}
-				if err := acc.Add(g, 1.0/float64(cfg.Workers)); err != nil {
-					return nil, err
-				}
+			// Gather worker gradients. Receives and decodes run concurrently
+			// across workers (Decode is stateless on every codec, including
+			// ErrorFeedback, whose residual lives on the encode side); the
+			// accumulator adds stay sequential in worker order so float
+			// summation is deterministic. DecodeTime must stay comparable to
+			// the serial path, so it sums the per-goroutine decode durations
+			// rather than wall time.
+			if err := gatherRound(cfg, driverSide, acc, &driverDecode); err != nil {
+				return nil, err
 			}
 			agg := acc.Sum()
 
@@ -455,6 +450,67 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	res.FinalLoss = last.TestLoss
 	res.FinalAccuracy = last.Accuracy
 	return res, nil
+}
+
+// gatherRound receives and decodes one gradient from every worker, then
+// folds them into acc. With W > 1 the receive+decode pairs run on W
+// goroutines; the single-worker case keeps the plain serial path. The
+// decode meter accumulates the sum of per-goroutine decode durations, not
+// wall time, so DecodeTime reports the same CPU cost at any parallelism.
+// Accumulator adds always happen sequentially in worker order, keeping the
+// float summation (and thus training) deterministic.
+func gatherRound(cfg Config, driverSide []*cluster.CountingConn, acc *gradient.Accumulator, driverDecode *time.Duration) error {
+	recvDecode := func(w int) (*gradient.Sparse, time.Duration, error) {
+		msg, err := driverSide[w].Recv()
+		if err != nil {
+			return nil, 0, fmt.Errorf("trainer: recv from worker %d: %w", w, err)
+		}
+		t0 := time.Now()
+		g, err := cfg.Codec.Decode(msg)
+		d := time.Since(t0)
+		if err != nil {
+			return nil, d, fmt.Errorf("trainer: decode from worker %d: %w", w, err)
+		}
+		return g, d, nil
+	}
+
+	grads := make([]*gradient.Sparse, cfg.Workers)
+	if cfg.Workers == 1 {
+		g, d, err := recvDecode(0)
+		*driverDecode += d
+		if err != nil {
+			return err
+		}
+		grads[0] = g
+	} else {
+		errs := make([]error, cfg.Workers)
+		decodeNs := make([]int64, cfg.Workers)
+		var wg sync.WaitGroup
+		wg.Add(cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				g, d, err := recvDecode(w)
+				decodeNs[w] = d.Nanoseconds()
+				grads[w], errs[w] = g, err
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < cfg.Workers; w++ {
+			*driverDecode += time.Duration(decodeNs[w])
+		}
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		if err := acc.Add(grads[w], 1.0/float64(cfg.Workers)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch, totalRounds int, seed int64) error {
