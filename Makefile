@@ -1,12 +1,25 @@
 # Verification harness for the SketchML reproduction.
 #
-# `make verify` is the CI gate: build, formatting, go vet, the project's
-# own static analyzers (cmd/sketchlint), unit tests, and the race
-# detector. `make fuzz` adds a short native-fuzz smoke over the wire-format
-# decoders. See DESIGN.md "Verification & static analysis".
+# `make verify` is the pre-PR gate: build, formatting, go vet, the
+# project's own static analyzers (cmd/sketchlint), unit tests, the
+# race-matrix sweep, and a fuzz smoke over the wire-format decoders.
+# `make fuzz` runs the fuzzers longer. See DESIGN.md "Verification &
+# static analysis" and ROADMAP.md "Verification".
 
 GO       ?= go
 FUZZTIME ?= 10s
+# fuzz-smoke keeps verify fast; the seed corpora under testdata/fuzz run
+# unconditionally as part of `go test` either way.
+SMOKE_FUZZTIME ?= 5s
+
+# race-matrix sweeps scheduler pressure (GOMAXPROCS) against codec worker
+# count (SKETCHML_PARALLELISM, consumed by codec.parallelism when
+# Options.Parallelism is 0). The concurrency-heavy packages run under
+# -race at every point; -count=1 defeats the test cache so each point
+# really executes.
+MATRIX_GOMAXPROCS   ?= 1 2 8
+MATRIX_PARALLELISM  ?= 0 1 4
+MATRIX_PKGS         ?= ./internal/codec ./internal/trainer ./internal/cluster
 # Flags for `make bench`; override with e.g. BENCHFLAGS=-benchtime=1x for a
 # smoke run that only checks the pipeline still works.
 BENCHFLAGS ?= -benchtime=0.5s
@@ -18,7 +31,7 @@ FUZZ_TARGETS := \
 	./internal/keycoding:FuzzDeltaRoundTrip \
 	./internal/keycoding:FuzzDecodeDeltaRobust
 
-.PHONY: all build fmt vet lint test race fuzz bench verify clean
+.PHONY: all build fmt vet lint test race race-matrix fuzz fuzz-smoke bench verify clean
 
 all: verify
 
@@ -47,6 +60,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+race-matrix:
+	@set -e; for gmp in $(MATRIX_GOMAXPROCS); do \
+		for par in $(MATRIX_PARALLELISM); do \
+			echo "race-matrix: GOMAXPROCS=$$gmp SKETCHML_PARALLELISM=$$par"; \
+			GOMAXPROCS=$$gmp SKETCHML_PARALLELISM=$$par \
+				$(GO) test -race -count=1 $(MATRIX_PKGS); \
+		done; \
+	done
+	@echo "race-matrix: all points passed"
+
+fuzz-smoke:
+	@$(MAKE) fuzz FUZZTIME=$(SMOKE_FUZZTIME)
+
 fuzz:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; target=$${t##*:}; \
@@ -65,7 +91,7 @@ bench:
 	@rm -f bench.out
 	@echo "bench: wrote BENCH_codec.json"
 
-verify: build fmt vet lint test race
+verify: build fmt vet lint test race-matrix fuzz-smoke
 	@echo "verify: all gates passed"
 
 clean:

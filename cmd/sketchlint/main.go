@@ -1,16 +1,28 @@
 // Command sketchlint runs the project's static-analysis suite
-// (internal/lint) over the module: five analyzers encoding SketchML's
-// correctness invariants — unseeded-hash, float-equality, unchecked-error,
-// wire-endianness, and panic-in-library. See DESIGN.md ("Verification &
-// static analysis") for what each one enforces and why.
+// (internal/lint) over the module: ten analyzers encoding SketchML's
+// correctness invariants — the v1 serialization/determinism checks
+// (unseeded-hash, float-equality, unchecked-error, wire-endianness,
+// panic-in-library) and the v2 concurrency/wire-safety checks
+// (pool-escape, lock-held-io, goroutine-join, waitgroup-misuse,
+// unbounded-wire-alloc). See DESIGN.md ("Verification & static
+// analysis") for what each one enforces and why.
 //
 // Usage:
 //
-//	sketchlint [-list] [./... | dir ...]
+//	sketchlint [-list] [-json] [-github] [-changed ref] [./... | dir ...]
 //
 // With no arguments (or "./...") every package in the module is checked.
 // Individual directories may be named instead. Exit status is 1 when any
 // finding is reported, 2 on a load or usage error.
+//
+// Output modes:
+//
+//	-json     emit findings as a JSON array (machine-readable, for CI)
+//	-github   additionally emit ::error workflow annotations so findings
+//	          surface inline on pull-request diffs
+//	-changed  analyze only packages containing files changed relative to
+//	          the given git ref (e.g. -changed origin/main); falls back
+//	          to the full module when git is unavailable
 //
 // Findings can be suppressed — sparingly, with a justification — by a
 // comment on the offending line or the line above:
@@ -19,9 +31,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -30,28 +44,38 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	github := flag.Bool("github", false, "also emit GitHub ::error workflow annotations")
+	changed := flag.String("changed", "", "analyze only packages changed relative to this git ref")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sketchlint [-list] [./... | dir ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: sketchlint [-list] [-json] [-github] [-changed ref] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
-	if err := run(flag.Args()); err != nil {
+	if err := run(flag.Args(), *jsonOut, *github, *changed); err != nil {
 		fmt.Fprintln(os.Stderr, "sketchlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string) error {
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
+// finding is the JSON shape of one diagnostic. Paths are module-root
+// relative so CI annotations resolve against the checkout.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, jsonOut, github bool, changedRef string) error {
 	root, err := findModuleRoot()
 	if err != nil {
 		return err
@@ -59,6 +83,28 @@ func run(args []string) error {
 	loader, err := lint.NewLoader(root)
 	if err != nil {
 		return err
+	}
+
+	if changedRef != "" {
+		if len(args) > 0 {
+			return fmt.Errorf("-changed cannot be combined with package arguments")
+		}
+		dirs, ok := changedDirs(root, changedRef)
+		if ok && len(dirs) == 0 {
+			// No Go files changed: vacuously clean.
+			if jsonOut {
+				fmt.Println("[]")
+			}
+			return nil
+		}
+		if ok {
+			args = dirs
+		}
+		// !ok (git missing or the ref unknown) falls through to the full
+		// module — diff-awareness is an optimization, never a skip.
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
 	}
 
 	var pkgs []*lint.Package
@@ -77,20 +123,83 @@ func run(args []string) error {
 	}
 
 	diags := lint.Run(loader.Fset(), pkgs, lint.All())
-	cwd, _ := os.Getwd()
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
 		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		findings = append(findings, finding{
+			File:     name,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if len(diags) > 0 {
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	if github {
+		for _, f := range findings {
+			// https://docs.github.com/actions/reference/workflow-commands:
+			// the message must be single-line; commas and colons in the
+			// properties would break parsing but file paths contain neither.
+			msg := strings.ReplaceAll(f.Message, "\n", " ")
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=sketchlint %s::%s\n",
+				f.File, f.Line, f.Column, f.Analyzer, msg)
+		}
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// changedDirs asks git which .go files differ from ref (committed or not)
+// and maps them to their package directories relative to root. The second
+// result is false when git cannot answer, in which case the caller should
+// analyze the whole module.
+func changedDirs(root, ref string) ([]string, bool) {
+	cmd := exec.Command("git", "diff", "--name-only", ref, "--", "*.go")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sketchlint: git diff %s failed (%v); analyzing the full module\n", ref, err)
+		return nil, false
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line == "" || !strings.HasSuffix(line, ".go") {
+			continue
+		}
+		dir := filepath.Dir(line)
+		if strings.Contains(line, "testdata"+string(filepath.Separator)) ||
+			strings.Contains(line, "testdata/") {
+			continue // fixtures are analyzed by their own tests, not the CLI
+		}
+		// A changed file may have been deleted; only analyze directories
+		// that still exist in the worktree.
+		abs := filepath.Join(root, dir)
+		if info, err := os.Stat(abs); err != nil || !info.IsDir() {
+			continue
+		}
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	return dirs, true
 }
 
 // load resolves one command-line argument to packages: "./..." (or the

@@ -113,8 +113,14 @@ func (r *Reader) Read() (uint32, error) {
 	return v, nil
 }
 
-// ReadAll reads exactly n values into a new slice.
+// ReadAll reads exactly n values into a new slice. n is typically a
+// wire-decoded count, so the allocation is refused up front when the
+// remaining stream cannot possibly hold n width-bit values.
 func (r *Reader) ReadAll(n int) ([]uint32, error) {
+	remaining := uint64(len(r.data)-r.pos)*8 + uint64(r.nbits)
+	if n < 0 || uint64(n)*uint64(r.width) > remaining {
+		return nil, fmt.Errorf("bitpack: %d values need %d bits but only %d remain", n, uint64(n)*uint64(r.width), remaining)
+	}
 	out := make([]uint32, n)
 	for i := range out {
 		v, err := r.Read()

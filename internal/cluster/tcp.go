@@ -47,6 +47,7 @@ func (t *tcpConn) Send(msg []byte) error {
 	// without copying the body; the mutex keeps whole frames atomic with
 	// respect to other senders.
 	bufs := net.Buffers{hdr[:], msg}
+	//lint:allow lock-held-io frame atomicity is the design: sendMu must span the vectored write or concurrent senders interleave frame bytes
 	_, err := bufs.WriteTo(t.c)
 	return err
 }
@@ -56,6 +57,7 @@ func (t *tcpConn) Recv() ([]byte, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
 	var hdr [4]byte
+	//lint:allow lock-held-io recvMu must span header+body so concurrent receivers cannot split a frame mid-read
 	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -65,6 +67,7 @@ func (t *tcpConn) Recv() ([]byte, error) {
 	}
 	if n <= recvDirectLimit {
 		msg := make([]byte, n)
+		//lint:allow lock-held-io same frame as the header read above; releasing recvMu between header and body would corrupt the stream
 		if _, err := io.ReadFull(t.c, msg); err != nil {
 			return nil, fmt.Errorf("cluster: frame body: %w", err)
 		}

@@ -1,7 +1,9 @@
 package codec
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -22,10 +24,27 @@ import (
 // independent and spliced in paneID order, group scatter preserves key
 // order, and nothing on the encode path depends on goroutine interleaving.
 
-// parallelism resolves Options.Parallelism: 0 means one worker per
-// available CPU, 1 pins the serial path.
+// envParallelism reads SKETCHML_PARALLELISM once. The race-matrix harness
+// (make race-matrix) uses it to sweep codec worker counts across a fixed
+// test binary without plumbing an option through every test; it only
+// applies when Options.Parallelism is 0 (auto), so explicit settings win.
+var envParallelism = sync.OnceValue(func() int {
+	if v := os.Getenv("SKETCHML_PARALLELISM"); v != "" {
+		if p, err := strconv.Atoi(v); err == nil && p > 0 {
+			return p
+		}
+	}
+	return 0
+})
+
+// parallelism resolves Options.Parallelism: 0 means the
+// SKETCHML_PARALLELISM environment override if set, else one worker per
+// available CPU; 1 pins the serial path.
 func (c *SketchML) parallelism() int {
 	if p := c.opts.Parallelism; p > 0 {
+		return p
+	}
+	if p := envParallelism(); p > 0 {
 		return p
 	}
 	return runtime.GOMAXPROCS(0)

@@ -1,0 +1,93 @@
+package codec
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the parallel decoder's error paths under -race: when a
+// corrupt message sends one pane worker into an error while the other is
+// mid-decode, the decoder must return a clean error — no panic, no data
+// race on the shared result slots, no deadlock in forEach. They are part
+// of the race-matrix sweep (make race-matrix).
+
+// parallelCodec returns a SketchML codec pinned to 4 workers so the
+// concurrent pane/group paths run even on small CI machines.
+func parallelCodec(t *testing.T) *SketchML {
+	t.Helper()
+	o := DefaultOptions()
+	o.Parallelism = 4
+	return MustSketchML(o)
+}
+
+// TestParallelDecodeCorruptPaneBoundary overwrites each byte position of a
+// valid message in turn and truncates at each position, forcing skipPane's
+// structural scan and the pane workers through every misalignment. The
+// decoder must error or produce a valid gradient, never panic or race.
+func TestParallelDecodeCorruptPaneBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGradient(rng, 20000, 300)
+	c := parallelCodec(t)
+	msg, err := c.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(msg); pos++ {
+		mut := append([]byte(nil), msg...)
+		mut[pos] = 0xFF
+		if dec, err := c.Decode(mut); err == nil {
+			if verr := dec.Validate(); verr != nil {
+				t.Fatalf("byte %d = 0xFF: decoded invalid gradient: %v", pos, verr)
+			}
+		}
+		if dec, err := c.Decode(msg[:pos]); err == nil {
+			if verr := dec.Validate(); verr != nil {
+				t.Fatalf("truncated at %d: decoded invalid gradient: %v", pos, verr)
+			}
+		}
+	}
+}
+
+// TestParallelDecodeOversizedGroupCount patches the grouped sketch header's
+// group-count field to 0xFFFFFFFF. The decoder must reject the count at the
+// header bound (minmax.DecodeGrouped caps it at 1<<16) instead of
+// allocating four billion group slots inside a pane worker.
+func TestParallelDecodeOversizedGroupCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomGradient(rng, 20000, 300)
+	c := parallelCodec(t)
+	msg, err := c.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire layout: tag(1) flags(1) dim(8) count(4) seed(8) buckets(4) = 26
+	// bytes of message header, then pane 0: paneCount(4) nMeans(4)
+	// means(8*nMeans), then the grouped header, which leads with the group
+	// count u32.
+	const hdr = 26
+	if len(msg) < hdr+8 {
+		t.Fatalf("message unexpectedly short: %d bytes", len(msg))
+	}
+	paneCount := binary.LittleEndian.Uint32(msg[hdr:])
+	if paneCount == 0 {
+		t.Fatal("pane 0 is empty; pick a seed that produces positive values")
+	}
+	nMeans := int(binary.LittleEndian.Uint32(msg[hdr+4:]))
+	groupCountOff := hdr + 8 + 8*nMeans
+	if len(msg) < groupCountOff+4 {
+		t.Fatalf("message too short for grouped header at %d", groupCountOff)
+	}
+	mut := append([]byte(nil), msg...)
+	binary.LittleEndian.PutUint32(mut[groupCountOff:], 0xFFFFFFFF)
+	if _, err := c.Decode(mut); err == nil {
+		t.Fatal("decoder accepted a 4-billion group count")
+	}
+	// Same patch, but a count that passes the u32 read and fails inside the
+	// per-sketch loop: the error must surface from whichever pane worker
+	// hits it while the other pane is still decoding.
+	binary.LittleEndian.PutUint32(mut[groupCountOff:], 1<<16)
+	if _, err := c.Decode(mut); err == nil {
+		t.Fatal("decoder accepted a grouped header lying about 65536 groups")
+	}
+}

@@ -37,7 +37,9 @@ type Options struct {
 	Seed uint64
 	// Parallelism bounds the worker pool used for the codec hot path:
 	// panes encode concurrently and pane/group reconstruction decodes
-	// concurrently. 0 (the default) means one worker per available CPU
+	// concurrently. 0 (the default) means the SKETCHML_PARALLELISM
+	// environment variable if it is set to a positive integer (the
+	// race-matrix harness uses this), else one worker per available CPU
 	// (GOMAXPROCS); 1 pins the serial path. The encoded bytes are
 	// bit-identical at every setting — parallelism only changes wall time.
 	Parallelism int
@@ -742,7 +744,9 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) (
 	// fan out across groups. Queries are read-only on the sketch and every
 	// group writes only its own slot, so the result is deterministic.
 	ng := grouped.NumGroups()
+	//lint:allow unbounded-wire-alloc ng counts successfully decoded sketches; minmax.DecodeGrouped caps the header at 1<<16 groups
 	keyLists := make([][]uint64, ng)
+	//lint:allow unbounded-wire-alloc same bound as keyLists above
 	valLists := make([][]float64, ng)
 	for grp := 0; grp < ng; grp++ {
 		keys, err := decodeKeys(r, delta, wide)

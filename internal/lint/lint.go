@@ -178,7 +178,10 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 	return diags
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order. The first five are
+// the v1 serialization/determinism invariants; the second five (v2) guard
+// the concurrency and untrusted-wire surfaces of the parallel codec hot
+// path.
 func All() []*Analyzer {
 	return []*Analyzer{
 		UnseededHash(),
@@ -186,6 +189,11 @@ func All() []*Analyzer {
 		UncheckedError(),
 		WireEndianness(),
 		PanicInLibrary(),
+		PoolEscape(),
+		LockHeldIO(),
+		GoroutineJoin(),
+		WaitGroupMisuse(),
+		UnboundedWireAlloc(),
 	}
 }
 

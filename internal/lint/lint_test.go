@@ -89,6 +89,16 @@ func TestUncheckedErrorFixture(t *testing.T) { checkFixture(t, "uncheckederr", U
 func TestWireEndiannessFixture(t *testing.T) { checkFixture(t, "endianness", WireEndianness()) }
 func TestPanicInLibraryFixture(t *testing.T) { checkFixture(t, "paniclib", PanicInLibrary()) }
 
+func TestPoolEscapeFixture(t *testing.T)    { checkFixture(t, "poolescape", PoolEscape()) }
+func TestLockHeldIOFixture(t *testing.T)    { checkFixture(t, "lockheldio", LockHeldIO()) }
+func TestGoroutineJoinFixture(t *testing.T) { checkFixture(t, "goroutinejoin", GoroutineJoin()) }
+func TestWaitGroupMisuseFixture(t *testing.T) {
+	checkFixture(t, "waitgroupmisuse", WaitGroupMisuse())
+}
+func TestUnboundedWireAllocFixture(t *testing.T) {
+	checkFixture(t, "wirealloc", UnboundedWireAlloc())
+}
+
 // TestScopedAnalyzersSkipForeignPackages pins the path scoping: the
 // wire-endianness and panic-in-library analyzers must stay silent outside
 // their target packages even when the code would otherwise violate them.

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// blockingIONames are the call names treated as blocking I/O when they
+// resolve to the net or io packages (or a net-typed receiver).
+var blockingIONames = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"ReadFull": true, "ReadAtLeast": true, "ReadAll": true,
+	"Copy": true, "CopyN": true, "CopyBuffer": true,
+	"Accept": true, "Send": true, "Recv": true,
+}
+
+// LockHeldIO flags blocking network/file I/O performed while a sync.Mutex
+// or sync.RWMutex is held. A peer that stops reading stalls the write
+// indefinitely, and every other goroutine queued on that mutex stalls with
+// it — under the trainer's fan-in traffic one slow worker then freezes the
+// whole gather. Where holding the lock across the write IS the design
+// (cluster/tcp.go serializes whole frames that way), the site carries a
+// //lint:allow comment documenting the tradeoff.
+//
+// The held window is positional: from x.Lock() to the first matching
+// x.Unlock() statement, or to the end of the function when the unlock is
+// deferred (or absent). RLock/RUnlock windows are treated identically —
+// a blocked reader still blocks writers.
+func LockHeldIO() *Analyzer {
+	a := &Analyzer{
+		Name: "lock-held-io",
+		Doc: "blocking net/io call while holding a mutex; hand the I/O off " +
+			"or document the serialization with //lint:allow",
+	}
+	a.Run = func(pass *Pass) {
+		if !internalLibrary(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkLockWindows(pass, fn)
+			}
+		}
+	}
+	return a
+}
+
+// lockEvent is one Lock/Unlock statement inside a function.
+type lockEvent struct {
+	recv     string // canonical receiver expression, e.g. "t.sendMu"
+	pos      token.Pos
+	unlock   bool
+	deferred bool
+}
+
+// checkLockWindows finds every mutex hold window in fn and reports
+// blocking I/O calls positioned inside one.
+func checkLockWindows(pass *Pass, fn *ast.FuncDecl) {
+	var events []lockEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		deferred := false
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = s.Call, true
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		isLock := name == "Lock" || name == "RLock"
+		isUnlock := name == "Unlock" || name == "RUnlock"
+		if !isLock && !isUnlock {
+			return true
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		if tn := typeName(s.Recv()); tn != "sync.Mutex" && tn != "sync.RWMutex" {
+			return true
+		}
+		events = append(events, lockEvent{
+			recv:     types.ExprString(sel.X),
+			pos:      call.Pos(),
+			unlock:   isUnlock,
+			deferred: deferred,
+		})
+		return true
+	})
+
+	for _, lock := range events {
+		if lock.unlock || lock.deferred {
+			continue
+		}
+		// Window: lock position to first non-deferred matching unlock after
+		// it, else end of function (deferred unlock or lock handed off).
+		end := fn.Body.End()
+		for _, u := range events {
+			if u.unlock && !u.deferred && u.recv == lock.recv && u.pos > lock.pos && u.pos < end {
+				end = u.pos
+			}
+		}
+		reportBlockingCalls(pass, fn, lock, end)
+	}
+}
+
+// reportBlockingCalls flags blocking I/O calls positioned in (after, end).
+func reportBlockingCalls(pass *Pass, fn *ast.FuncDecl, lock lockEvent, end token.Pos) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= lock.pos || call.Pos() >= end {
+			return true
+		}
+		if what := blockingIOCall(pass, call); what != "" {
+			pass.Reportf(call.Pos(),
+				"%s called while holding %s; a stalled peer blocks every "+
+					"goroutine queued on this mutex", what, lock.recv)
+		}
+		return true
+	})
+}
+
+// blockingIOCall classifies a call as blocking I/O, returning a printable
+// name ("io.ReadFull", "net.Buffers.WriteTo") or "".
+func blockingIOCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if !blockingIONames[name] {
+		return ""
+	}
+	// Package-level io/net function (io.ReadFull, io.Copy, net.Dial...).
+	if qual, ok := sel.X.(*ast.Ident); ok {
+		if p := pass.PkgNameOf(qual); p == "io" || p == "net" {
+			return p + "." + name
+		}
+	}
+	// Method on a net-package type (net.Conn, net.Buffers, *net.TCPConn...).
+	if s, ok := pass.Info.Selections[sel]; ok {
+		tn := typeName(s.Recv())
+		if strings.HasPrefix(tn, "net.") {
+			return tn + "." + name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,392 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape flags sync.Pool scratch that leaks out of the function that
+// borrowed it. The codec hot path (internal/codec/parallel.go) recycles
+// per-message buffers through sync.Pool; the contract is that pooled
+// memory never escapes into a returned value (the next Get would hand the
+// caller's live data to another goroutine) and is never touched after the
+// matching Put (a plain data race once another goroutine re-Gets it).
+// Quancurrent-style silent corruption in concurrent sketches is exactly
+// this bug shape.
+//
+// The analyzer tracks, per function, every local derived from a pool
+// source — a direct (*sync.Pool).Get call or a call to a same-package
+// helper whose body calls Get (getBytes, getU64, ...) — through
+// dereference, slicing, indexing, copying, and append-to-self. It reports:
+//
+//   - a return statement whose result is a DERIVED view of pooled memory
+//     (a deref, slice, or element). Returning the pooled box pointer
+//     itself is the accessor idiom — ownership transfers to the caller,
+//     who now owes the Put — but a derived slice keeps aliasing memory
+//     the pool will hand to someone else;
+//   - any use of a pool-derived value positioned after a non-deferred
+//     Put of its root (directly or via a same-package put helper).
+//
+// The order check is positional, not flow-sensitive; a conditional Put
+// followed by a use on a disjoint branch needs a //lint:allow comment.
+func PoolEscape() *Analyzer {
+	a := &Analyzer{
+		Name: "pool-escape",
+		Doc: "sync.Pool scratch escaping into a return value or used after " +
+			"the matching Put",
+	}
+	a.Run = func(pass *Pass) {
+		if !internalLibrary(pass.Path) {
+			return
+		}
+		sources, sinks := poolHelpers(pass)
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkPoolEscapes(pass, fn, sources, sinks)
+			}
+		}
+	}
+	return a
+}
+
+// poolHelpers finds the package's own pool accessors: functions whose body
+// calls (*sync.Pool).Get are sources, those that call Put are sinks.
+func poolHelpers(pass *Pass) (sources, sinks map[*types.Func]bool) {
+	sources = make(map[*types.Func]bool)
+	sinks = make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch poolMethodName(pass, call) {
+				case "Get":
+					sources[obj] = true
+				case "Put":
+					sinks[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	return sources, sinks
+}
+
+// poolMethodName returns "Get"/"Put" when call is that method on a
+// sync.Pool receiver, else "".
+func poolMethodName(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if name != "Get" && name != "Put" {
+		return ""
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || typeName(s.Recv()) != "sync.Pool" {
+		return ""
+	}
+	return name
+}
+
+// poolTaint carries the provenance of one pool-derived local.
+type poolTaint struct {
+	root    token.Pos // position of the originating Get call
+	derived bool      // a view into the box (deref/slice/index), not the box itself
+}
+
+// checkPoolEscapes runs the per-function escape analysis.
+func checkPoolEscapes(pass *Pass, fn *ast.FuncDecl, sources, sinks map[*types.Func]bool) {
+	taint := make(map[types.Object]*poolTaint)
+	// putAt maps a taint root to the end position of the first non-deferred
+	// Put statement that retires it.
+	putAt := make(map[token.Pos]token.Pos)
+
+	isSourceCall := func(call *ast.CallExpr) bool {
+		if poolMethodName(pass, call) == "Get" {
+			return true
+		}
+		if obj := calledFunc(pass, call); obj != nil && sources[obj] {
+			return true
+		}
+		return false
+	}
+	isSinkCall := func(call *ast.CallExpr) bool {
+		if poolMethodName(pass, call) == "Put" {
+			return true
+		}
+		if obj := calledFunc(pass, call); obj != nil && sinks[obj] {
+			return true
+		}
+		return false
+	}
+
+	// exprTaint resolves the provenance of an expression, walking through
+	// the value-preserving shapes: parens, derefs, slicing/indexing, type
+	// assertions, and append whose destination is already pooled. Append
+	// with a pooled *source* copies the bytes out, so only the first
+	// argument propagates.
+	derive := func(t *poolTaint) *poolTaint {
+		if t == nil {
+			return nil
+		}
+		return &poolTaint{root: t.root, derived: true}
+	}
+	var exprTaint func(e ast.Expr) *poolTaint
+	exprTaint = func(e ast.Expr) *poolTaint {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[e]; obj != nil {
+				return taint[obj]
+			}
+		case *ast.ParenExpr:
+			return exprTaint(e.X)
+		case *ast.StarExpr:
+			return derive(exprTaint(e.X))
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				return derive(exprTaint(e.X))
+			}
+		case *ast.IndexExpr:
+			return derive(exprTaint(e.X))
+		case *ast.SliceExpr:
+			return derive(exprTaint(e.X))
+		case *ast.TypeAssertExpr:
+			return exprTaint(e.X)
+		case *ast.CallExpr:
+			if isSourceCall(e) {
+				return &poolTaint{root: e.Pos()}
+			}
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return derive(exprTaint(e.Args[0]))
+				}
+			}
+		}
+		return nil
+	}
+
+	// Pass 1a (in statement order, which ast.Inspect follows): propagate
+	// taint through assignments.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			var rhs ast.Expr
+			if len(a.Rhs) == len(a.Lhs) {
+				rhs = a.Rhs[i]
+			} else if len(a.Rhs) == 1 {
+				rhs = a.Rhs[0] // multi-value call: taint every LHS alike
+			}
+			if rhs == nil {
+				continue
+			}
+			t := exprTaint(rhs)
+			target := rootIdent(lhs)
+			if target == nil {
+				continue
+			}
+			obj := pass.Info.Defs[target]
+			if obj == nil {
+				obj = pass.Info.Uses[target]
+			}
+			if obj == nil {
+				continue
+			}
+			if t != nil {
+				// Assigning INTO pooled storage (*buf = ...) is the
+				// normal refill pattern, not a new taint — only direct
+				// binds of the name itself propagate.
+				if _, isStar := lhs.(*ast.StarExpr); isStar {
+					continue
+				}
+				taint[obj] = t
+			}
+		}
+		return true
+	})
+
+	// Pass 1b: record non-deferred Puts, walking statement lists so each
+	// Put's following sibling is visible. A Put immediately followed by a
+	// return that does not itself touch the pooled root is the normal
+	// cleanup-on-exit pattern (error branches release scratch and bail);
+	// recording it would poison every later success-path use.
+	rootUsed := func(e ast.Expr, root token.Pos) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if t := taint[pass.Info.Uses[id]]; t != nil && t.root == root {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	recordPuts := func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || !isSinkCall(call) || len(call.Args) == 0 {
+				continue
+			}
+			t := exprTaint(call.Args[0])
+			if t == nil {
+				continue
+			}
+			if i+1 < len(stmts) {
+				if ret, ok := stmts[i+1].(*ast.ReturnStmt); ok {
+					clean := true
+					for _, res := range ret.Results {
+						if rootUsed(res, t.root) {
+							clean = false
+						}
+					}
+					if clean {
+						continue // put-then-bail cleanup, not a live window
+					}
+				}
+			}
+			if prev, done := putAt[t.root]; !done || es.End() < prev {
+				putAt[t.root] = es.End()
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			recordPuts(n.List)
+		case *ast.CaseClause:
+			recordPuts(n.Body)
+		case *ast.CommClause:
+			recordPuts(n.Body)
+		}
+		return true
+	})
+
+	// Pass 2: report escapes.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closure results are not the enclosing function's results;
+			// returns inside are checked when the closure is itself a
+			// worker body, but pooled values legitimately stay inside
+			// (forEach workers fill pooled panes). Skip return checks in
+			// literals; use-after-put still applies via ident walk below.
+			checkUseAfterPut(pass, n.Body, taint, putAt)
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				// Returning the box pointer itself transfers ownership (the
+				// accessor idiom: getBytes and friends); only derived views
+				// alias memory the pool will recycle under the caller.
+				if t := exprTaint(res); t != nil && t.derived && refType(pass, res) {
+					pass.Reportf(res.Pos(),
+						"pooled buffer escapes via return; copy it out (the next "+
+							"Get hands this memory to another goroutine)")
+				}
+			}
+		case *ast.Ident:
+			reportUseAfterPut(pass, n, taint, putAt)
+		}
+		return true
+	})
+}
+
+// checkUseAfterPut walks a subtree reporting only the use-after-Put class.
+func checkUseAfterPut(pass *Pass, body ast.Node, taint map[types.Object]*poolTaint, putAt map[token.Pos]token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			reportUseAfterPut(pass, id, taint, putAt)
+		}
+		return true
+	})
+}
+
+// reportUseAfterPut flags an identifier use positioned after the Put that
+// retired its pool root.
+func reportUseAfterPut(pass *Pass, id *ast.Ident, taint map[types.Object]*poolTaint, putAt map[token.Pos]token.Pos) {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	t := taint[obj]
+	if t == nil {
+		return
+	}
+	if end, ok := putAt[t.root]; ok && id.Pos() > end {
+		pass.Reportf(id.Pos(),
+			"%s used after its pool Put; another goroutine may already own "+
+				"this memory", id.Name)
+	}
+}
+
+// refType reports whether an expression's type shares memory when copied
+// (slice or pointer): returning a scalar element of pooled memory is a
+// value copy, not an escape.
+func refType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unresolvable: stay conservative
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// rootIdent unwraps an assignable expression to the identifier that names
+// the stored-into variable (x, x[i], *x, x[i:j] all root at x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calledFunc resolves a call to the *types.Func it invokes, or nil.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := pass.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

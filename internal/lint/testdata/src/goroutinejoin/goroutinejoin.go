@@ -1,0 +1,56 @@
+// Package goroutinejoin is a sketchlint test fixture. Each "want" comment
+// marks a line the goroutine-join analyzer must flag.
+package goroutinejoin
+
+import "sync"
+
+func spawnLeak() {
+	go func() { // want "no join signal"
+		_ = compute(1)
+	}()
+}
+
+func spawnNamedLeak() {
+	go leaky() // want "which has no join signal"
+}
+
+func leaky() { _ = compute(2) }
+
+func spawnUnknown(f func()) {
+	go f() // want "cannot verify a join signal"
+}
+
+func spawnJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = compute(3)
+	}()
+	wg.Wait()
+}
+
+func spawnChannelSend() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- compute(4)
+	}()
+	return out
+}
+
+func spawnDoneClose() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = compute(5)
+	}()
+	return done
+}
+
+func spawnNamedJoined(out chan int) {
+	go produce(out)
+}
+
+func produce(out chan int) { out <- compute(6) }
+
+func compute(x int) int { return x * 2 }

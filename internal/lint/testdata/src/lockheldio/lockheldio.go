@@ -1,0 +1,53 @@
+// Package lockheldio is a sketchlint test fixture. Each "want" comment
+// marks a line the lock-held-io analyzer must flag.
+package lockheldio
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+type conn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (t *conn) badWrite(msg []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.c.Write(msg) // want "called while holding t.mu"
+	return err
+}
+
+func (t *conn) badReadFull(buf []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := io.ReadFull(t.c, buf) // want "io.ReadFull called while holding t.mu"
+	return err
+}
+
+func (t *conn) goodUnlockFirst(msg []byte) error {
+	t.mu.Lock()
+	n := len(msg)
+	t.mu.Unlock()
+	_, err := t.c.Write(msg[:n])
+	return err
+}
+
+type cache struct {
+	mu sync.RWMutex
+}
+
+func (c *cache) badCopyUnderRLock(w io.Writer, r io.Reader) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, err := io.Copy(w, r) // want "io.Copy called while holding c.mu"
+	return err
+}
+
+func (c *cache) goodNoIO() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return 1
+}

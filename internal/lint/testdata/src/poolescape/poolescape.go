@@ -1,0 +1,63 @@
+// Package poolescape is a sketchlint test fixture. Each "want" comment
+// marks a line the pool-escape analyzer must flag.
+package poolescape
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// getBuf is a pool source helper: returning pooled memory is its job, so
+// the analyzer must not flag its own return.
+func getBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
+func leakReturn() []byte {
+	b := getBuf()
+	*b = append(*b, 1, 2, 3)
+	return *b // want "escapes via return"
+}
+
+func leakSliceOfDirectGet() []byte {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	return (*b)[:0] // want "escapes via return"
+}
+
+func useAfterPut() int {
+	b := getBuf()
+	data := *b
+	putBuf(b)
+	return len(data) // want "used after its pool Put"
+}
+
+func useDerivedAfterPut() byte {
+	b := getBuf()
+	*b = append(*b, 7)
+	head := (*b)[:1]
+	putBuf(b)
+	return head[0] // want "head used after its pool Put"
+}
+
+func goodCopyOut() []byte {
+	b := getBuf()
+	defer putBuf(b)
+	*b = append(*b, 42)
+	out := make([]byte, len(*b))
+	copy(out, *b)
+	return out
+}
+
+func goodAppendOut(dst []byte) []byte {
+	b := getBuf()
+	*b = append(*b, 9, 9)
+	// Appending pooled bytes into a caller-owned destination copies them;
+	// only the destination (untainted) flows to the return.
+	dst = append(dst, *b...)
+	putBuf(b)
+	return dst
+}

@@ -1,0 +1,41 @@
+// Package waitgroupmisuse is a sketchlint test fixture. Each "want"
+// comment marks a line the waitgroup-misuse analyzer must flag.
+package waitgroupmisuse
+
+import "sync"
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		go func() {
+			wg.Add(1) // want "Add inside the spawned goroutine"
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func plainDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work(1)
+		wg.Done() // want "Done not deferred"
+	}()
+	wg.Wait()
+}
+
+func goodDeferredDone() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func work(int) {}

@@ -1,0 +1,65 @@
+// Package wirealloc is a sketchlint test fixture. Each "want" comment
+// marks a line the unbounded-wire-alloc analyzer must flag.
+package wirealloc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"slices"
+)
+
+func DecodeBad(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("short")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	out := make([]byte, n) // want "make sized by n with no prior bound check"
+	copy(out, data[4:])
+	return out, nil
+}
+
+func DecodeGuarded(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("short")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n < 0 || n > len(data)-4 {
+		return nil, errors.New("bad length")
+	}
+	out := make([]byte, n)
+	copy(out, data[4:])
+	return out, nil
+}
+
+func DecodeEqualityIsNotABound(data []byte) []uint64 {
+	count := int(binary.LittleEndian.Uint32(data))
+	if count == 0 {
+		return nil
+	}
+	return make([]uint64, count) // want "make sized by count with no prior bound check"
+}
+
+func ReadIntoBuffer(data []byte) *bytes.Buffer {
+	n := int(binary.LittleEndian.Uint32(data))
+	var b bytes.Buffer
+	b.Grow(n) // want "bytes.Buffer.Grow sized by n"
+	return &b
+}
+
+func parseWithSlicesGrow(data []byte, dst []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	return slices.Grow(dst, n) // want "slices.Grow sized by n"
+}
+
+func DecodeLenProportional(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// EncodeUnchecked sizes by a trusted in-process value; encode-side
+// functions are out of the analyzer's scope.
+func EncodeUnchecked(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WaitGroupMisuse flags the two classic sync.WaitGroup mistakes on
+// spawned-goroutine bodies:
+//
+//   - wg.Add called INSIDE the goroutine it accounts for. Add must happen
+//     before the spawn, in the spawner: if the scheduler runs wg.Wait()
+//     before the new goroutine gets CPU time, the counter is still at its
+//     old value and Wait returns while work is in flight — exactly the
+//     intermittent early-return race the race detector rarely catches
+//     (nothing is concurrently written, the count is just wrong).
+//
+//   - wg.Done called as a plain statement instead of deferred. Any early
+//     return, panic, or later-inserted error path between the work and the
+//     trailing Done leaks a counter increment and deadlocks Wait forever.
+//     `defer wg.Done()` as the goroutine's first statement is the only
+//     ordering that survives refactoring.
+//
+// The checks apply to function literals launched directly by a go
+// statement, in internal/ library packages.
+func WaitGroupMisuse() *Analyzer {
+	a := &Analyzer{
+		Name: "waitgroup-misuse",
+		Doc: "WaitGroup.Add inside the spawned goroutine, or Done not " +
+			"deferred; both race Wait",
+	}
+	a.Run = func(pass *Pass) {
+		if !internalLibrary(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				checkGoroutineWaitGroup(pass, lit.Body)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkGoroutineWaitGroup inspects one spawned body for misuse patterns.
+func checkGoroutineWaitGroup(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is not this goroutine's body; a further go
+			// statement inside will be visited by the outer walk.
+			return false
+		case *ast.ExprStmt:
+			// Plain Done() statement: flag. Deferred Done never reaches
+			// here (DeferStmt, not ExprStmt).
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if wgMethodName(pass, call) == "Done" {
+					pass.Reportf(call.Pos(),
+						"WaitGroup.Done not deferred; an early return or panic "+
+							"before this line deadlocks Wait")
+				}
+			}
+		case *ast.CallExpr:
+			if wgMethodName(pass, n) == "Add" {
+				pass.Reportf(n.Pos(),
+					"WaitGroup.Add inside the spawned goroutine; if Wait runs "+
+						"before this goroutine is scheduled it returns early — "+
+						"Add in the spawner, before the go statement")
+			}
+		}
+		return true
+	})
+}
+
+// wgMethodName returns the method name when call is a method on a
+// sync.WaitGroup receiver, else "".
+func wgMethodName(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || typeName(s.Recv()) != "sync.WaitGroup" {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allocPackages are the import-path suffixes held to the wire-allocation
+// rule: every package that parses bytes arriving off the network.
+var allocPackages = []string{
+	"internal/codec",
+	"internal/bitpack",
+	"internal/keycoding",
+	"internal/cluster",
+}
+
+// decodeVerbs are the function-name prefixes that mark a decode-side
+// function — one whose inputs may be hostile wire bytes.
+var decodeVerbs = []string{
+	"Decode", "decode", "Parse", "parse", "Read", "read",
+	"Recv", "recv", "Skip", "skip", "Unmarshal", "unmarshal",
+}
+
+// UnboundedWireAlloc flags allocations in decode-path functions of the
+// wire packages whose size comes from a variable that was never
+// bound-checked. A length header is attacker-controlled: `make([]byte, n)`
+// with n read straight off the wire lets a 4-byte frame demand a 4 GiB
+// allocation — the exact bug fixed in cluster.Recv (a corrupt header
+// pre-allocated 1 GiB per connection). This analyzer is that fix's
+// permanent regression guard.
+//
+// The rule: in a function whose name starts with a decode verb
+// (Decode/Parse/Read/Recv/Skip/Unmarshal, any case), the size arguments of
+// make, (*bytes.Buffer).Grow, and slices.Grow must be built only from
+// constants and len/cap expressions — or every variable they mention must
+// appear in an ordering comparison (<, >, <=, >=) earlier in the function.
+// Comparing against equality does not count: `n == 0` rejects nothing.
+// The check is positional, not flow-sensitive; a guard the analyzer cannot
+// see takes a //lint:allow comment with the reasoning.
+func UnboundedWireAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "unbounded-wire-alloc",
+		Doc: "decode-path allocation sized by a wire value with no prior " +
+			"bound check; a corrupt length header controls the size",
+	}
+	a.Run = func(pass *Pass) {
+		if !isAllocPackage(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isDecodeFunc(fn.Name.Name) {
+					continue
+				}
+				checkWireAllocs(pass, fn)
+			}
+		}
+	}
+	return a
+}
+
+func isAllocPackage(path string) bool {
+	for _, suffix := range allocPackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return strings.HasPrefix(path, "fixture/")
+}
+
+func isDecodeFunc(name string) bool {
+	for _, verb := range decodeVerbs {
+		if strings.HasPrefix(name, verb) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWireAllocs reports unguarded size expressions at every allocation
+// site in fn.
+func checkWireAllocs(pass *Pass, fn *ast.FuncDecl) {
+	// guards collects, per variable, the positions of ordering comparisons
+	// that mention it.
+	guards := make(map[types.Object][]token.Pos)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		for _, obj := range varsIn(pass, b) {
+			guards[obj] = append(guards[obj], b.Pos())
+		}
+		return true
+	})
+
+	guardedBefore := func(obj types.Object, pos token.Pos) bool {
+		for _, g := range guards[obj] {
+			if g < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	report := func(size ast.Expr, what string) {
+		for _, obj := range varsIn(pass, size) {
+			if !guardedBefore(obj, size.Pos()) {
+				pass.Reportf(size.Pos(),
+					"%s sized by %s with no prior bound check; a corrupt "+
+						"length header controls this allocation", what, obj.Name())
+				return // one report per site is enough
+			}
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "make" && len(call.Args) >= 2 {
+				if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+					for _, arg := range call.Args[1:] {
+						report(arg, "make")
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name != "Grow" {
+				return true
+			}
+			// slices.Grow(s, n)
+			if qual, ok := fun.X.(*ast.Ident); ok && pass.PkgNameOf(qual) == "slices" {
+				if len(call.Args) == 2 {
+					report(call.Args[1], "slices.Grow")
+				}
+				return true
+			}
+			// (*bytes.Buffer).Grow(n) and friends
+			if s, ok := pass.Info.Selections[fun]; ok && len(call.Args) == 1 {
+				report(call.Args[0], typeName(s.Recv())+".Grow")
+			}
+		}
+		return true
+	})
+}
+
+// varsIn collects the integer-typed variable objects an expression
+// mentions, skipping anything inside a len/cap call (allocating
+// proportionally to data already in memory is inherently bounded).
+func varsIn(pass *Pass, e ast.Expr) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return false
+				}
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[obj] {
+			return true
+		}
+		if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}

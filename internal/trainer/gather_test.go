@@ -1,0 +1,117 @@
+package trainer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sketchml/internal/cluster"
+	"sketchml/internal/codec"
+	"sketchml/internal/gradient"
+)
+
+// These tests drive gatherRound — the driver-side fan-in that receives and
+// decodes one message per worker on W goroutines — through its failure
+// paths under -race: one worker delivering garbage (decode fails mid-
+// gather) and one worker's connection dying (recv fails) while the other
+// workers' decodes are still in flight. The gather must return a clean,
+// attributed error without deadlocking on its WaitGroup or racing on the
+// shared result slots. Part of the race-matrix sweep (make race-matrix).
+
+const gatherDim = 4096
+
+func gatherHarness(t *testing.T, workers int) (Config, []*cluster.CountingConn, []cluster.Conn, *gradient.Sparse, []byte) {
+	t.Helper()
+	c := codec.MustSketchML(codec.DefaultOptions())
+	cfg := Config{Codec: c, Workers: workers}
+	rng := rand.New(rand.NewSource(77))
+	m := map[uint64]float64{}
+	for len(m) < 120 {
+		m[uint64(rng.Int63n(gatherDim))] = rng.NormFloat64() * 0.01
+	}
+	g := gradient.FromMap(gatherDim, m)
+	msg, err := c.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driverSide := make([]*cluster.CountingConn, workers)
+	workerSide := make([]cluster.Conn, workers)
+	for w := 0; w < workers; w++ {
+		a, b := cluster.Pair(1)
+		driverSide[w] = cluster.NewCounting(a)
+		workerSide[w] = b
+	}
+	return cfg, driverSide, workerSide, g, msg
+}
+
+func TestGatherRoundDecodeFailureMidGather(t *testing.T) {
+	const workers = 4
+	cfg, driverSide, workerSide, _, msg := gatherHarness(t, workers)
+	for w := 0; w < workers; w++ {
+		payload := msg
+		if w == 2 {
+			payload = []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01, 0x02}
+		}
+		if err := workerSide[w].Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := gradient.NewAccumulator(gatherDim)
+	var decode time.Duration
+	err := gatherRound(cfg, driverSide, acc, &decode)
+	if err == nil {
+		t.Fatal("gatherRound accepted a garbage message")
+	}
+	if !strings.Contains(err.Error(), "decode from worker 2") {
+		t.Fatalf("error not attributed to the failing worker: %v", err)
+	}
+}
+
+func TestGatherRoundRecvFailureMidGather(t *testing.T) {
+	const workers = 4
+	cfg, driverSide, workerSide, _, msg := gatherHarness(t, workers)
+	for w := 0; w < workers; w++ {
+		if w == 1 {
+			// This worker dies before sending anything: its pair closes and
+			// the driver's Recv must fail while the other three decodes run.
+			if err := workerSide[w].Close(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := workerSide[w].Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := gradient.NewAccumulator(gatherDim)
+	var decode time.Duration
+	err := gatherRound(cfg, driverSide, acc, &decode)
+	if err == nil {
+		t.Fatal("gatherRound succeeded with a dead worker connection")
+	}
+	if !strings.Contains(err.Error(), "recv from worker 1") {
+		t.Fatalf("error not attributed to the dead worker: %v", err)
+	}
+}
+
+// TestGatherRoundAllHealthy pins the happy path the failure tests bracket:
+// the same harness with every worker delivering a valid message must
+// accumulate the mean gradient and report a nonzero decode duration.
+func TestGatherRoundAllHealthy(t *testing.T) {
+	const workers = 4
+	cfg, driverSide, workerSide, _, msg := gatherHarness(t, workers)
+	for w := 0; w < workers; w++ {
+		if err := workerSide[w].Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := gradient.NewAccumulator(gatherDim)
+	var decode time.Duration
+	if err := gatherRound(cfg, driverSide, acc, &decode); err != nil {
+		t.Fatal(err)
+	}
+	if decode <= 0 {
+		t.Fatal("decode duration was not accumulated")
+	}
+}
