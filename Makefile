@@ -23,6 +23,9 @@ MATRIX_PKGS         ?= ./internal/codec ./internal/trainer ./internal/cluster
 # Flags for `make bench`; override with e.g. BENCHFLAGS=-benchtime=1x for a
 # smoke run that only checks the pipeline still works.
 BENCHFLAGS ?= -benchtime=0.5s
+# Fault seed for the race-matrix chaos point; the default chaos-soak run
+# uses the test's built-in seed, so the matrix exercises a second schedule.
+CHAOS_MATRIX_SEED ?= 7
 
 # Native fuzz targets, as "package:Target" pairs. Go's fuzzer runs one
 # target per invocation, so the fuzz rule loops.
@@ -31,7 +34,7 @@ FUZZ_TARGETS := \
 	./internal/keycoding:FuzzDeltaRoundTrip \
 	./internal/keycoding:FuzzDecodeDeltaRobust
 
-.PHONY: all build fmt vet lint test race race-matrix fuzz fuzz-smoke bench verify clean
+.PHONY: all build fmt vet lint test race race-matrix chaos-soak fuzz fuzz-smoke bench verify clean
 
 all: verify
 
@@ -68,7 +71,17 @@ race-matrix:
 				$(GO) test -race -count=1 $(MATRIX_PKGS); \
 		done; \
 	done
+	@echo "race-matrix: chaos point GOMAXPROCS=4 CHAOS_SEED=$(CHAOS_MATRIX_SEED)"
+	GOMAXPROCS=4 SKETCHML_CHAOS_SOAK=1 SKETCHML_CHAOS_SEED=$(CHAOS_MATRIX_SEED) \
+		$(GO) test -race -count=1 -run TestChaosSoak ./internal/trainer
 	@echo "race-matrix: all points passed"
+
+# chaos-soak trains under seeded fault injection (drops, corruption, dups,
+# delays, one worker disconnect+rejoin) under -race and demands exact
+# counter reproducibility plus convergence within tolerance of the clean
+# run. The race-matrix chaos point above sweeps a second fault seed.
+chaos-soak:
+	SKETCHML_CHAOS_SOAK=1 $(GO) test -race -count=1 -run TestChaosSoak -v ./internal/trainer
 
 fuzz-smoke:
 	@$(MAKE) fuzz FUZZTIME=$(SMOKE_FUZZTIME)
@@ -91,7 +104,7 @@ bench:
 	@rm -f bench.out
 	@echo "bench: wrote BENCH_codec.json"
 
-verify: build fmt vet lint test race-matrix fuzz-smoke
+verify: build fmt vet lint test race-matrix chaos-soak fuzz-smoke
 	@echo "verify: all gates passed"
 
 clean:

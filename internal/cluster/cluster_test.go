@@ -450,3 +450,112 @@ func TestTCPBidirectionalConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPairDrainsAllQueuedAfterClose(t *testing.T) {
+	// Repeated Recv after Close must hand over every queued message before
+	// reporting ErrClosed — a closing worker's last gradients still count.
+	a, b := Pair(8)
+	const queued = 5
+	for i := 0; i < queued; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < queued; i++ {
+		msg, err := b.Recv()
+		if err != nil {
+			t.Fatalf("queued message %d lost after close: %v", i, err)
+		}
+		if msg[0] != byte(i) {
+			t.Fatalf("drain out of order: got %d at position %d", msg[0], i)
+		}
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Fatalf("Recv after drain = %v, want ErrClosed", err)
+	}
+	// Draining also works through the deadline path.
+	a2, b2 := Pair(2)
+	if err := a2.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	a2.Close()
+	if msg, err := RecvWithTimeout(b2, time.Second); err != nil || string(msg) != "x" {
+		t.Fatalf("RecvTimeout did not drain after close: %q, %v", msg, err)
+	}
+	if _, err := RecvWithTimeout(b2, time.Second); err != ErrClosed {
+		t.Fatalf("RecvTimeout after drain = %v, want ErrClosed", err)
+	}
+}
+
+func TestPairSharedClose(t *testing.T) {
+	// Closing EITHER endpoint closes the pair: both directions fail on
+	// both endpoints afterwards.
+	a, b := Pair(1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send([]byte("x")); err != ErrClosed {
+		t.Errorf("a.Send after b.Close = %v, want ErrClosed", err)
+	}
+	if _, err := a.Recv(); err != ErrClosed {
+		t.Errorf("a.Recv after b.Close = %v, want ErrClosed", err)
+	}
+	if err := b.Send([]byte("x")); err != ErrClosed {
+		t.Errorf("b.Send after b.Close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent from either side.
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close errored: %v", err)
+	}
+}
+
+func TestMemRecvTimeout(t *testing.T) {
+	a, b := Pair(1)
+	defer a.Close()
+	start := time.Now()
+	if _, err := RecvWithTimeout(b, 30*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("empty RecvTimeout = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The connection stays usable after a timeout.
+	if err := a.Send([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := RecvWithTimeout(b, time.Second)
+	if err != nil || string(msg) != "late" {
+		t.Fatalf("post-timeout receive: %q, %v", msg, err)
+	}
+	// d <= 0 blocks like Recv (delivery already queued here).
+	if err := a.Send([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := RecvWithTimeout(b, 0); err != nil || string(msg) != "again" {
+		t.Fatalf("RecvTimeout(0): %q, %v", msg, err)
+	}
+}
+
+func TestCountingConnRecvTimeout(t *testing.T) {
+	a, b := Pair(1)
+	defer a.Close()
+	cb := NewCounting(b)
+	if _, err := RecvWithTimeout(cb, 20*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("counting RecvTimeout = %v, want ErrTimeout", err)
+	}
+	if s := cb.Stats(); s.MsgsRecv != 0 {
+		t.Errorf("timeout counted as a received message: %+v", s)
+	}
+	if err := a.Send(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecvWithTimeout(cb, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s := cb.Stats(); s.MsgsRecv != 1 || s.BytesRecv != 10 {
+		t.Errorf("counting through deadline path: %+v", s)
+	}
+}

@@ -11,10 +11,16 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned by operations on a closed connection.
 var ErrClosed = errors.New("cluster: connection closed")
+
+// ErrTimeout is returned by RecvTimeout when the deadline expires before a
+// full message arrives. The connection stays usable: a partially received
+// frame is resumed by the next receive.
+var ErrTimeout = errors.New("cluster: receive timed out")
 
 // Conn is a bidirectional, message-oriented (framed) connection.
 // Send and Recv are each safe for one concurrent caller.
@@ -25,6 +31,27 @@ type Conn interface {
 	Recv() ([]byte, error)
 	// Close releases the connection; pending Recv calls fail.
 	Close() error
+}
+
+// DeadlineConn is a Conn whose receives can be bounded in time, the seam
+// that lets the trainer survive hung or partitioned peers: no receive need
+// ever block unboundedly. Both built-in transports implement it.
+type DeadlineConn interface {
+	Conn
+	// RecvTimeout blocks for the next message for at most d (d <= 0 blocks
+	// like Recv). On expiry it returns ErrTimeout and leaves the connection
+	// usable — in particular a frame caught mid-transfer is resumed, not
+	// corrupted, by the next receive.
+	RecvTimeout(d time.Duration) ([]byte, error)
+}
+
+// RecvWithTimeout bounds a receive on any Conn: connections implementing
+// DeadlineConn get a true deadline; others fall back to a blocking Recv.
+func RecvWithTimeout(c Conn, d time.Duration) ([]byte, error) {
+	if dc, ok := c.(DeadlineConn); ok && d > 0 {
+		return dc.RecvTimeout(d)
+	}
+	return c.Recv()
 }
 
 // memConn is one endpoint of an in-memory pair.
@@ -82,6 +109,28 @@ func (c *memConn) Recv() ([]byte, error) {
 	}
 }
 
+// RecvTimeout implements DeadlineConn.
+func (c *memConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	if d <= 0 {
+		return c.Recv()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-c.closed:
+		select {
+		case msg := <-c.in:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}
+
 // Close implements Conn. Closing either endpoint closes the pair.
 func (c *memConn) Close() error {
 	c.closeOnce.Do(func() { close(c.closed) })
@@ -124,6 +173,18 @@ func (c *CountingConn) Send(msg []byte) error {
 // Recv implements Conn.
 func (c *CountingConn) Recv() ([]byte, error) {
 	msg, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.bytesRecv.Add(int64(len(msg)))
+	c.msgsRecv.Add(1)
+	return msg, nil
+}
+
+// RecvTimeout implements DeadlineConn, delegating the deadline to the
+// wrapped connection when it supports one.
+func (c *CountingConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	msg, err := RecvWithTimeout(c.inner, d)
 	if err != nil {
 		return nil, err
 	}

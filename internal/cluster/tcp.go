@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +31,15 @@ type tcpConn struct {
 	c      net.Conn
 	sendMu sync.Mutex
 	recvMu sync.Mutex
+
+	// Resumable receive state, guarded by recvMu. A RecvTimeout deadline
+	// can expire mid-frame; the partial header/body progress is kept here
+	// so the next receive continues exactly where this one stopped and the
+	// byte stream never desynchronizes.
+	hdr    [4]byte
+	hdrGot int
+	body   *bytes.Buffer // non-nil while a frame body is in progress
+	want   int           // body length of the in-progress frame
 }
 
 // WrapNetConn adapts a stream connection into a framed cluster Conn.
@@ -53,40 +64,72 @@ func (t *tcpConn) Send(msg []byte) error {
 }
 
 // Recv implements Conn.
-func (t *tcpConn) Recv() ([]byte, error) {
+func (t *tcpConn) Recv() ([]byte, error) { return t.RecvTimeout(0) }
+
+// timeoutErr maps a net.Conn read-deadline expiry onto the transport's
+// ErrTimeout sentinel; every other error passes through unchanged.
+func timeoutErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ErrTimeout
+	}
+	return err
+}
+
+// RecvTimeout implements DeadlineConn via net.Conn.SetReadDeadline. On
+// expiry it returns ErrTimeout with the partial frame progress saved, so a
+// later receive resumes the same frame instead of reading garbage.
+func (t *tcpConn) RecvTimeout(d time.Duration) ([]byte, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
-	var hdr [4]byte
-	//lint:allow lock-held-io recvMu must span header+body so concurrent receivers cannot split a frame mid-read
-	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n > maxFrame {
-		return nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
-	}
-	if n <= recvDirectLimit {
-		msg := make([]byte, n)
-		//lint:allow lock-held-io same frame as the header read above; releasing recvMu between header and body would corrupt the stream
-		if _, err := io.ReadFull(t.c, msg); err != nil {
-			return nil, fmt.Errorf("cluster: frame body: %w", err)
+	if d > 0 {
+		if err := t.c.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return nil, err
 		}
-		return msg, nil
+		// Clear the deadline on every exit so a later plain Recv blocks.
+		defer func() { _ = t.c.SetReadDeadline(time.Time{}) }()
 	}
-	// Large frame: let the buffer grow as bytes arrive instead of trusting
-	// the header with an up-front allocation. bytes.Buffer.ReadFrom reads
-	// straight into its (geometrically grown) buffer, so a lying header
-	// costs at most one growth step beyond the data actually received.
-	var b bytes.Buffer
-	b.Grow(recvDirectLimit)
-	got, err := b.ReadFrom(io.LimitReader(t.c, int64(n)))
-	if err != nil {
-		return nil, fmt.Errorf("cluster: frame body: %w", err)
+	for t.hdrGot < len(t.hdr) {
+		//lint:allow lock-held-io recvMu must span header+body so concurrent receivers cannot split a frame mid-read
+		n, err := t.c.Read(t.hdr[t.hdrGot:])
+		t.hdrGot += n
+		if err != nil && t.hdrGot < len(t.hdr) {
+			return nil, timeoutErr(err)
+		}
 	}
-	if got < int64(n) {
-		return nil, fmt.Errorf("cluster: frame body: %w", io.ErrUnexpectedEOF)
+	if t.body == nil {
+		n := int(binary.LittleEndian.Uint32(t.hdr[:]))
+		if n > maxFrame {
+			return nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+		}
+		t.want = n
+		// The buffer grows as bytes actually arrive off the wire, so a
+		// corrupt or hostile length header can cost at most recvDirectLimit
+		// of up-front memory, not maxFrame.
+		t.body = &bytes.Buffer{}
+		if n <= recvDirectLimit {
+			t.body.Grow(n)
+		} else {
+			t.body.Grow(recvDirectLimit)
+		}
 	}
-	return b.Bytes(), nil
+	for t.body.Len() < t.want {
+		//lint:allow lock-held-io same frame as the header read above; releasing recvMu between header and body would corrupt the stream
+		got, err := t.body.ReadFrom(io.LimitReader(t.c, int64(t.want-t.body.Len())))
+		if err != nil && t.body.Len() < t.want {
+			return nil, fmt.Errorf("cluster: frame body: %w", timeoutErr(err))
+		}
+		// ReadFrom swallows io.EOF; zero progress without an error means
+		// the stream really ended mid-frame.
+		if got == 0 && err == nil && t.body.Len() < t.want {
+			return nil, fmt.Errorf("cluster: frame body: %w", io.ErrUnexpectedEOF)
+		}
+	}
+	msg := t.body.Bytes()
+	t.body = nil
+	t.want = 0
+	t.hdrGot = 0
+	return msg, nil
 }
 
 // Close implements Conn.
@@ -129,7 +172,24 @@ var (
 	dialInitialBackoff = 10 * time.Millisecond
 	dialMaxBackoff     = 500 * time.Millisecond
 	dialDeadline       = 5 * time.Second
+
+	// dialJitterSeed feeds each Dial call's jitter source; a fixed seed
+	// plus a per-call counter keeps retry schedules reproducible in tests
+	// while still decorrelating concurrent dialers.
+	dialJitterSeed int64 = 0x5ce7c4
+	dialCalls      atomic.Int64
 )
+
+// jitteredBackoff spreads a backoff over [backoff/2, backoff] ("equal
+// jitter"): W workers dialing a just-started driver would otherwise retry
+// in lockstep and hammer the accept queue in synchronized waves.
+func jitteredBackoff(rng *rand.Rand, backoff time.Duration) time.Duration {
+	if backoff <= 1 {
+		return backoff
+	}
+	half := backoff / 2
+	return half + time.Duration(rng.Int63n(int64(backoff-half)+1))
+}
 
 // Dial connects to a framed TCP listener. Transient failures (connection
 // refused while the driver is still binding, timeouts) are retried with
@@ -139,6 +199,9 @@ var (
 func Dial(addr string) (Conn, error) {
 	deadline := time.Now().Add(dialDeadline)
 	backoff := dialInitialBackoff
+	// Seeded per-call source: deterministic given the seed and call index,
+	// distinct across concurrent dialers so their retries spread out.
+	rng := rand.New(rand.NewSource(dialJitterSeed + dialCalls.Add(1)*15485863))
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		c, err := net.DialTimeout("tcp", addr, dialAttemptTimeout)
@@ -154,7 +217,7 @@ func Dial(addr string) (Conn, error) {
 			return nil, fmt.Errorf("cluster: dial %s: gave up after %d attempt(s): %w",
 				addr, attempt, lastErr)
 		}
-		time.Sleep(backoff)
+		time.Sleep(jitteredBackoff(rng, backoff))
 		backoff *= 2
 		if backoff > dialMaxBackoff {
 			backoff = dialMaxBackoff

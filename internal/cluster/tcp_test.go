@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -360,5 +361,147 @@ func TestTransientDialErrorClassification(t *testing.T) {
 		if got := transientDialError(tc.err); got != tc.transient {
 			t.Errorf("%s: transient=%v, want %v", tc.name, got, tc.transient)
 		}
+	}
+}
+
+// TestTCPRecvTimeoutIdleLink: a deadline on a silent link expires with
+// ErrTimeout and the link stays usable.
+func TestTCPRecvTimeoutIdleLink(t *testing.T) {
+	client, server := tcpPair(t)
+	dc, ok := client.(DeadlineConn)
+	if !ok {
+		t.Fatal("tcp conn does not implement DeadlineConn")
+	}
+	if _, err := dc.RecvTimeout(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("idle RecvTimeout = %v, want ErrTimeout", err)
+	}
+	if err := server.Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := dc.RecvTimeout(2 * time.Second)
+	if err != nil || string(msg) != "after" {
+		t.Fatalf("post-timeout receive: %q, %v", msg, err)
+	}
+	// And a plain Recv still blocks-then-delivers (deadline was cleared).
+	if err := server.Send([]byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := client.Recv(); err != nil || string(msg) != "plain" {
+		t.Fatalf("plain Recv after timed call: %q, %v", msg, err)
+	}
+}
+
+// TestTCPRecvTimeoutResumesPartialFrame pins the stream-integrity property
+// the deadline seam depends on: a timeout that fires mid-frame must not
+// desynchronize the stream — the next receive resumes the same frame and
+// returns it intact.
+func TestTCPRecvTimeoutResumesPartialFrame(t *testing.T) {
+	raw, side := net.Pipe()
+	defer raw.Close()
+	conn := WrapNetConn(side).(DeadlineConn)
+	defer conn.Close()
+
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	wrote := make(chan struct{})
+	go func() {
+		defer close(wrote)
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		if _, err := raw.Write(hdr[:]); err != nil {
+			return
+		}
+		// Half the body, then stall past the receiver's deadline, then the
+		// rest — and a second whole frame to prove framing survived.
+		if _, err := raw.Write(payload[:32]); err != nil {
+			return
+		}
+		time.Sleep(150 * time.Millisecond)
+		if _, err := raw.Write(payload[32:]); err != nil {
+			return
+		}
+		binary.LittleEndian.PutUint32(hdr[:], 3)
+		if _, err := raw.Write(hdr[:]); err != nil {
+			return
+		}
+		_, _ = raw.Write([]byte("ok!"))
+	}()
+
+	if _, err := conn.RecvTimeout(40 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("mid-frame RecvTimeout = %v, want ErrTimeout", err)
+	}
+	got, err := conn.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatalf("resumed receive failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("resumed frame corrupted")
+	}
+	next, err := conn.RecvTimeout(2 * time.Second)
+	if err != nil || string(next) != "ok!" {
+		t.Fatalf("stream desynchronized after resume: %q, %v", next, err)
+	}
+	<-wrote
+}
+
+// TestTCPRecvTimeoutHeaderSplit: the deadline can also fire inside the
+// 4-byte length header; resume must reassemble it.
+func TestTCPRecvTimeoutHeaderSplit(t *testing.T) {
+	raw, side := net.Pipe()
+	defer raw.Close()
+	conn := WrapNetConn(side).(DeadlineConn)
+	defer conn.Close()
+
+	go func() {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], 5)
+		if _, err := raw.Write(hdr[:2]); err != nil {
+			return
+		}
+		time.Sleep(120 * time.Millisecond)
+		if _, err := raw.Write(hdr[2:]); err != nil {
+			return
+		}
+		_, _ = raw.Write([]byte("hello"))
+	}()
+	if _, err := conn.RecvTimeout(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("mid-header RecvTimeout = %v, want ErrTimeout", err)
+	}
+	got, err := conn.RecvTimeout(2 * time.Second)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("header resume: %q, %v", got, err)
+	}
+}
+
+// TestJitteredBackoffBoundsAndDeterminism: jitter stays in [backoff/2,
+// backoff], is deterministic for a fixed source, and actually varies.
+func TestJitteredBackoffBoundsAndDeterminism(t *testing.T) {
+	const backoff = 100 * time.Millisecond
+	seq := func() []time.Duration {
+		rng := rand.New(rand.NewSource(99))
+		out := make([]time.Duration, 50)
+		for i := range out {
+			out[i] = jitteredBackoff(rng, backoff)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	distinct := map[time.Duration]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("jitter not deterministic for a fixed source")
+		}
+		if a[i] < backoff/2 || a[i] > backoff {
+			t.Fatalf("jitter %v outside [%v, %v]", a[i], backoff/2, backoff)
+		}
+		distinct[a[i]] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("jitter never varied over 50 draws")
+	}
+	if jitteredBackoff(rand.New(rand.NewSource(1)), 0) != 0 {
+		t.Error("zero backoff must stay zero")
 	}
 }

@@ -1,0 +1,65 @@
+package trainer
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame envelope. Every message in the bulk-synchronous loop is
+// self-describing: [kind byte][round uint32 LE][checksum byte][payload].
+// The round tag is what makes degraded rounds safe — a gradient that
+// arrives after its round's deadline expired is recognized as stale
+// instead of being mistaken for the current round's contribution, so a
+// worker that was slow (or partitioned) for a while rejoins the protocol
+// seamlessly once its link heals. The kind byte separates gradient traffic
+// from end-of-run reports, letting the driver's report collection discard
+// late gradient frames. The checksum (FNV-1a over kind, round, and
+// payload, truncated to a byte) turns in-flight corruption into a detected
+// parse failure rather than a silently-applied junk gradient.
+const (
+	frameGrad   byte = 0x47 // 'G': gradient (worker→driver) or aggregate (driver→worker)
+	frameReport byte = 0x52 // 'R': a worker's end-of-run report
+)
+
+const frameHeaderLen = 6
+
+// frameSum hashes the first n header bytes plus the payload with FNV-1a,
+// truncated to one byte. A 1-byte check misses one corrupted frame in 256
+// on average — plenty for fault *accounting*; the codecs' own structural
+// validation backs it up.
+func frameSum(hdr []byte, payload []byte) byte {
+	h := uint32(2166136261)
+	for _, b := range hdr {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	for _, b := range payload {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return byte(h)
+}
+
+// appendFrame wraps payload in the envelope, appending to dst.
+func appendFrame(dst []byte, kind byte, round int, payload []byte) []byte {
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(round))
+	dst = append(dst, frameSum(dst[len(dst)-5:], payload))
+	return append(dst, payload...)
+}
+
+// parseFrame splits a received message into its envelope fields and
+// verifies the checksum. The returned payload aliases msg.
+func parseFrame(msg []byte) (kind byte, round int, payload []byte, err error) {
+	if len(msg) < frameHeaderLen {
+		return 0, 0, nil, fmt.Errorf("trainer: frame too short (%d bytes)", len(msg))
+	}
+	kind = msg[0]
+	if kind != frameGrad && kind != frameReport {
+		return 0, 0, nil, fmt.Errorf("trainer: unknown frame kind 0x%02x", kind)
+	}
+	payload = msg[frameHeaderLen:]
+	if want := frameSum(msg[:frameHeaderLen-1], payload); msg[frameHeaderLen-1] != want {
+		return 0, 0, nil, fmt.Errorf("trainer: frame checksum mismatch (got 0x%02x, want 0x%02x)",
+			msg[frameHeaderLen-1], want)
+	}
+	return kind, int(binary.LittleEndian.Uint32(msg[1 : frameHeaderLen-1])), payload, nil
+}

@@ -1,0 +1,47 @@
+package trainer
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("sketch bytes")
+	for _, kind := range []byte{frameGrad, frameReport} {
+		for _, round := range []int{0, 1, 41, 1 << 20} {
+			f := appendFrame(nil, kind, round, payload)
+			if len(f) != frameHeaderLen+len(payload) {
+				t.Fatalf("frame length %d", len(f))
+			}
+			k, r, p, err := parseFrame(f)
+			if err != nil {
+				t.Fatalf("kind 0x%02x round %d: %v", kind, round, err)
+			}
+			if k != kind || r != round || !bytes.Equal(p, payload) {
+				t.Fatalf("round-trip mangled: kind 0x%02x round %d payload %q", k, r, p)
+			}
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	base := appendFrame(nil, frameGrad, 7, []byte("some gradient payload"))
+	if _, _, _, err := parseFrame(base); err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single byte — kind, round, checksum, or payload — must
+	// fail the parse instead of returning a silently altered frame.
+	for i := range base {
+		f := append([]byte(nil), base...)
+		f[i] ^= 0x41
+		if _, _, _, err := parseFrame(f); err == nil {
+			t.Errorf("flip at byte %d went undetected", i)
+		}
+	}
+	if _, _, _, err := parseFrame([]byte{frameGrad, 1, 2}); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, _, _, err := parseFrame(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+}

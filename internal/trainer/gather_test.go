@@ -53,13 +53,13 @@ func TestGatherRoundDecodeFailureMidGather(t *testing.T) {
 		if w == 2 {
 			payload = []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01, 0x02}
 		}
-		if err := workerSide[w].Send(payload); err != nil {
+		if err := workerSide[w].Send(appendFrame(nil, frameGrad, 0, payload)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	acc := gradient.NewAccumulator(gatherDim)
 	var decode time.Duration
-	err := gatherRound(cfg, driverSide, acc, &decode)
+	err := gatherRound(cfg, 0, driverSide, make([]int, workers), acc, &EpochStats{}, &decode)
 	if err == nil {
 		t.Fatal("gatherRound accepted a garbage message")
 	}
@@ -80,13 +80,13 @@ func TestGatherRoundRecvFailureMidGather(t *testing.T) {
 			}
 			continue
 		}
-		if err := workerSide[w].Send(msg); err != nil {
+		if err := workerSide[w].Send(appendFrame(nil, frameGrad, 0, msg)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	acc := gradient.NewAccumulator(gatherDim)
 	var decode time.Duration
-	err := gatherRound(cfg, driverSide, acc, &decode)
+	err := gatherRound(cfg, 0, driverSide, make([]int, workers), acc, &EpochStats{}, &decode)
 	if err == nil {
 		t.Fatal("gatherRound succeeded with a dead worker connection")
 	}
@@ -102,13 +102,13 @@ func TestGatherRoundAllHealthy(t *testing.T) {
 	const workers = 4
 	cfg, driverSide, workerSide, _, msg := gatherHarness(t, workers)
 	for w := 0; w < workers; w++ {
-		if err := workerSide[w].Send(msg); err != nil {
+		if err := workerSide[w].Send(appendFrame(nil, frameGrad, 0, msg)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	acc := gradient.NewAccumulator(gatherDim)
 	var decode time.Duration
-	if err := gatherRound(cfg, driverSide, acc, &decode); err != nil {
+	if err := gatherRound(cfg, 0, driverSide, make([]int, workers), acc, &EpochStats{}, &decode); err != nil {
 		t.Fatal(err)
 	}
 	if decode <= 0 {

@@ -72,6 +72,36 @@ type Config struct {
 	// paper's CTR dataset, where per-instance cost dominates (Section
 	// 4.3.2). Codec and network times are never scaled.
 	ComputeScale float64
+
+	// RoundDeadline bounds every receive in the training loop: the
+	// driver's per-round gather, each worker's wait for the broadcast, and
+	// the end-of-run report collection. When it is set, a timed-out or
+	// undecodable gradient no longer aborts the run — the round proceeds
+	// with the gradients that arrived (rescaled to stay unbiased), the
+	// offender accrues a strike, and only MaxStrikes consecutive misses or
+	// quorum loss abort. Zero keeps the strict fail-stop behavior: every
+	// receive blocks indefinitely and any fault is fatal.
+	RoundDeadline time.Duration
+	// MinGatherFraction is the quorum: the smallest fraction of workers
+	// whose gradients must arrive for a round to proceed. Consulted only
+	// when RoundDeadline > 0; values outside (0, 1] default to 0.5.
+	MinGatherFraction float64
+	// MaxStrikes aborts the run once a single worker has missed this many
+	// consecutive rounds (timeout, corrupt frame, or dead link). A round
+	// with its gradient present resets the worker's strikes. Consulted
+	// only when RoundDeadline > 0; values < 1 default to 8.
+	MaxStrikes int
+	// Chaos, when non-nil, wraps every driver↔worker link with a
+	// fault-injecting cluster.ChaosConn. Each link's schedule derives
+	// deterministically from Chaos.Seed and the worker index, so a run's
+	// fault pattern is exactly reproducible. Outage windows are configured
+	// per worker via ChaosOutage, not here.
+	Chaos *cluster.ChaosSpec
+	// ChaosOutage maps a worker index to an outage window on that worker's
+	// link ([Start, End) in per-direction frame ordinals — with one frame
+	// each way per round, approximately a round range). Simulates a
+	// disconnect followed by a rejoin. Ignored when Chaos is nil.
+	ChaosOutage map[int]cluster.OutageWindow
 }
 
 // EpochStats reports one epoch of a run.
@@ -94,6 +124,16 @@ type EpochStats struct {
 	SimTime time.Duration
 	// WallTime is the actually measured single-machine duration.
 	WallTime time.Duration
+
+	// Robustness counters, nonzero only when Config.RoundDeadline enables
+	// degraded rounds (see DESIGN.md, "Fault tolerance"). All are
+	// driver-side observations.
+	Timeouts       int // receive deadlines that expired during gather
+	SkippedGrads   int // worker gradients absent from a round's aggregate
+	CorruptFrames  int // frames that failed envelope parse or codec decode
+	StaleFrames    int // late or duplicated frames from an earlier round
+	Strikes        int // consecutive-miss strikes accrued by workers
+	DegradedRounds int // rounds aggregated from fewer than W gradients
 }
 
 // CurvePoint is one point of the loss-vs-time convergence curve
@@ -113,6 +153,14 @@ type Result struct {
 	// FinalLoss is the last test loss; FinalAccuracy likewise.
 	FinalLoss     float64
 	FinalAccuracy float64
+
+	// Worker-side robustness totals, reported at end of run (nonzero only
+	// under Config.RoundDeadline).
+	WorkerTimeouts      int64 // broadcast waits that expired on workers
+	WorkerSkippedSteps  int64 // optimizer steps workers skipped
+	WorkerCorruptFrames int64 // frames workers could not parse or decode
+	LostReports         int   // end-of-run reports that never arrived
+	WorkerFailures      int   // workers that exited with an error
 }
 
 // AvgEpochSimTime returns the mean simulated epoch time.
@@ -188,38 +236,63 @@ func (c *Config) fill() error {
 	if c.ComputeScale <= 0 {
 		c.ComputeScale = 1
 	}
+	if c.RoundDeadline > 0 {
+		if c.MinGatherFraction <= 0 || c.MinGatherFraction > 1 {
+			c.MinGatherFraction = 0.5
+		}
+		if c.MaxStrikes < 1 {
+			c.MaxStrikes = 8
+		}
+	}
 	return c.Network.Validate()
 }
 
-// workerReport carries a worker's accumulated timings to the driver.
+// tolerant reports whether degraded rounds are enabled (versus the strict
+// fail-stop protocol).
+func (c *Config) tolerant() bool { return c.RoundDeadline > 0 }
+
+// workerReport carries a worker's accumulated timings and robustness
+// counters to the driver.
 type workerReport struct {
 	computeNs int64
 	encodeNs  int64
 	decodeNs  int64
 	lossSum   float64
 	rounds    int64
+
+	timeouts     int64 // broadcast waits that expired
+	corrupt      int64 // frames that failed envelope parse or decode
+	skippedSteps int64 // optimizer steps skipped (missed or undecodable aggregates)
 }
 
+const workerReportLen = 64
+
 func (w workerReport) marshal() []byte {
-	out := make([]byte, 0, 40)
+	out := make([]byte, 0, workerReportLen)
 	out = binary.LittleEndian.AppendUint64(out, uint64(w.computeNs))
 	out = binary.LittleEndian.AppendUint64(out, uint64(w.encodeNs))
 	out = binary.LittleEndian.AppendUint64(out, uint64(w.decodeNs))
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(w.lossSum))
 	out = binary.LittleEndian.AppendUint64(out, uint64(w.rounds))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.timeouts))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.corrupt))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.skippedSteps))
 	return out
 }
 
 func parseWorkerReport(data []byte) (workerReport, error) {
-	if len(data) != 40 {
+	if len(data) != workerReportLen {
 		return workerReport{}, fmt.Errorf("trainer: bad report size %d", len(data))
 	}
 	return workerReport{
-		computeNs: int64(binary.LittleEndian.Uint64(data[0:])),
-		encodeNs:  int64(binary.LittleEndian.Uint64(data[8:])),
-		decodeNs:  int64(binary.LittleEndian.Uint64(data[16:])),
-		lossSum:   math.Float64frombits(binary.LittleEndian.Uint64(data[24:])),
-		rounds:    int64(binary.LittleEndian.Uint64(data[32:])),
+		computeNs:    int64(binary.LittleEndian.Uint64(data[0:])),
+		encodeNs:     int64(binary.LittleEndian.Uint64(data[8:])),
+		decodeNs:     int64(binary.LittleEndian.Uint64(data[16:])),
+		lossSum:      math.Float64frombits(binary.LittleEndian.Uint64(data[24:])),
+		rounds:       int64(binary.LittleEndian.Uint64(data[32:])),
+		timeouts:     int64(binary.LittleEndian.Uint64(data[40:])),
+		corrupt:      int64(binary.LittleEndian.Uint64(data[48:])),
+		skippedSteps: int64(binary.LittleEndian.Uint64(data[56:])),
 	}, nil
 }
 
@@ -246,7 +319,19 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	}
 	totalRounds := roundsPerEpoch * cfg.Epochs
 
-	// Wire the links.
+	// Wire the links. wrap applies the (optional) fault-injection layer and
+	// the traffic counter to the driver's end of worker w's link. Each
+	// link's chaos schedule derives from Chaos.Seed and the worker index so
+	// a run's fault pattern is reproducible end to end.
+	wrap := func(w int, inner cluster.Conn) *cluster.CountingConn {
+		if cfg.Chaos != nil {
+			spec := *cfg.Chaos
+			spec.Seed = cfg.Chaos.Seed + int64(w)*1_000_003
+			spec.Outage = cfg.ChaosOutage[w]
+			inner = cluster.NewChaos(inner, spec)
+		}
+		return cluster.NewCounting(inner)
+	}
 	driverSide := make([]*cluster.CountingConn, cfg.Workers)
 	workerSide := make([]cluster.Conn, cfg.Workers)
 	if cfg.UseTCP {
@@ -258,6 +343,10 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		accepted := make(chan cluster.Conn, cfg.Workers)
 		errs := make(chan error, 1)
 		go func() {
+			// Closing the channel (not just returning) lets the cleanup path
+			// below distinguish "no more conns are coming" from "one is still
+			// in flight", so it never leaks an accepted conn.
+			defer close(accepted)
 			for i := 0; i < cfg.Workers; i++ {
 				c, err := l.Accept()
 				if err != nil {
@@ -267,25 +356,52 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 				accepted <- c
 			}
 		}()
+		// cleanup tears down a half-built topology: closing the listener
+		// unblocks the accept goroutine, whose channel close bounds the
+		// drain loop. Without this, a mid-setup dial error leaked every
+		// already-dialed conn, every accepted-but-uncollected conn, and the
+		// accept goroutine itself.
+		cleanup := func() {
+			_ = l.Close()
+			for _, c := range workerSide {
+				if c != nil {
+					_ = c.Close()
+				}
+			}
+			for _, c := range driverSide {
+				if c != nil {
+					_ = c.Close()
+				}
+			}
+			for c := range accepted {
+				_ = c.Close()
+			}
+		}
 		for w := 0; w < cfg.Workers; w++ {
 			c, err := cluster.Dial(l.Addr())
 			if err != nil {
+				cleanup()
 				return nil, err
 			}
 			workerSide[w] = c
 		}
 		for w := 0; w < cfg.Workers; w++ {
-			select {
-			case c := <-accepted:
-				driverSide[w] = cluster.NewCounting(c)
-			case err := <-errs:
+			c, ok := <-accepted
+			if !ok {
+				err := <-errs
+				cleanup()
 				return nil, err
 			}
+			// Note: accept order decides which chaos spec lands on which
+			// link, so chaos schedules are reproducible per link but the
+			// link↔worker pairing is not pinned over TCP; the in-memory
+			// transport pins both.
+			driverSide[w] = wrap(w, c)
 		}
 	} else {
 		for w := 0; w < cfg.Workers; w++ {
 			d, c := cluster.Pair(2)
-			driverSide[w] = cluster.NewCounting(d)
+			driverSide[w] = wrap(w, d)
 			workerSide[w] = c
 		}
 	}
@@ -323,6 +439,9 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	var cumSimSeconds float64
 	var prevUp, prevDown int64
 	driverCodecTime := make([]time.Duration, 0, cfg.Epochs)
+	// strikes[w] counts worker w's consecutive missed rounds (tolerant mode
+	// only); any round with its gradient present resets it.
+	strikes := make([]int, cfg.Workers)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var es EpochStats
@@ -339,20 +458,29 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			// summation is deterministic. DecodeTime must stay comparable to
 			// the serial path, so it sums the per-goroutine decode durations
 			// rather than wall time.
-			if err := gatherRound(cfg, driverSide, acc, &driverDecode); err != nil {
+			globalRound := epoch*roundsPerEpoch + round
+			if err := gatherRound(cfg, globalRound, driverSide, strikes, acc, &es, &driverDecode); err != nil {
 				return nil, err
 			}
 			agg := acc.Sum()
 
-			// Broadcast the aggregate.
+			// Broadcast the aggregate, round-tagged. Every worker gets the
+			// broadcast — including ones that just missed the round — because
+			// the round tag is how a lagging worker discovers where the
+			// driver is and rejoins. In tolerant mode a dead link must not
+			// kill the round (the strike ledger handles persistent absence).
 			t0 := time.Now()
 			msg, err := cfg.Codec.Encode(agg)
 			driverEncode += time.Since(t0)
 			if err != nil {
 				return nil, fmt.Errorf("trainer: encode aggregate: %w", err)
 			}
+			bmsg := appendFrame(make([]byte, 0, frameHeaderLen+len(msg)), frameGrad, globalRound, msg)
 			for w := 0; w < cfg.Workers; w++ {
-				if err := driverSide[w].Send(msg); err != nil {
+				if err := driverSide[w].Send(bmsg); err != nil {
+					if cfg.tolerant() {
+						continue
+					}
 					return nil, fmt.Errorf("trainer: send to worker %d: %w", w, err)
 				}
 			}
@@ -391,28 +519,37 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		res.Epochs = append(res.Epochs, es)
 	}
 
-	// Collect worker reports: one final message per worker.
+	// Collect worker reports: one final frameReport per worker. In tolerant
+	// mode each collection is bounded by the round deadline and a lost
+	// report degrades the stats instead of failing the run; stale gradient
+	// frames still queued from degraded rounds are skimmed off first.
 	var totalCompute, totalWorkerEncode, totalWorkerDecode time.Duration
 	var lossSum float64
 	var lossRounds int64
 	for w := 0; w < cfg.Workers; w++ {
-		msg, err := driverSide[w].Recv()
+		rep, err := collectReport(cfg, driverSide[w], w)
 		if err != nil {
-			return nil, fmt.Errorf("trainer: report from worker %d: %w", w, err)
-		}
-		rep, err := parseWorkerReport(msg)
-		if err != nil {
-			return nil, err
+			if !cfg.tolerant() {
+				return nil, err
+			}
+			res.LostReports++
+			continue
 		}
 		totalCompute += time.Duration(rep.computeNs)
 		totalWorkerEncode += time.Duration(rep.encodeNs)
 		totalWorkerDecode += time.Duration(rep.decodeNs)
 		lossSum += rep.lossSum
 		lossRounds += rep.rounds
+		res.WorkerTimeouts += rep.timeouts
+		res.WorkerCorruptFrames += rep.corrupt
+		res.WorkerSkippedSteps += rep.skippedSteps
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		if err := <-workerErrs; err != nil {
-			return nil, err
+			if !cfg.tolerant() {
+				return nil, err
+			}
+			res.WorkerFailures++
 		}
 	}
 
@@ -452,65 +589,206 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	return res, nil
 }
 
-// gatherRound receives and decodes one gradient from every worker, then
-// folds them into acc. With W > 1 the receive+decode pairs run on W
-// goroutines; the single-worker case keeps the plain serial path. The
-// decode meter accumulates the sum of per-goroutine decode durations, not
-// wall time, so DecodeTime reports the same CPU cost at any parallelism.
-// Accumulator adds always happen sequentially in worker order, keeping the
-// float summation (and thus training) deterministic.
-func gatherRound(cfg Config, driverSide []*cluster.CountingConn, acc *gradient.Accumulator, driverDecode *time.Duration) error {
-	recvDecode := func(w int) (*gradient.Sparse, time.Duration, error) {
-		msg, err := driverSide[w].Recv()
+// gatherOutcome is one worker's contribution to one gather round.
+type gatherOutcome struct {
+	g        *gradient.Sparse
+	decodeNs int64
+	timeouts int
+	corrupt  int
+	stale    int
+	err      error // fatal in strict mode; in tolerant mode just marks a miss
+}
+
+// recvGradient receives worker w's gradient for the given round. In strict
+// mode (no deadline) it blocks until a frame arrives and any anomaly is an
+// error. In tolerant mode it spends at most cfg.RoundDeadline: stale and
+// corrupt frames are counted, discarded, and the wait continues on the
+// remaining budget; deadline expiry or a dead link returns an empty outcome
+// (a miss), never an abort.
+func recvGradient(cfg Config, conn cluster.Conn, w, round int) gatherOutcome {
+	var out gatherOutcome
+	var deadline time.Time
+	if cfg.tolerant() {
+		deadline = time.Now().Add(cfg.RoundDeadline)
+	}
+	for {
+		var budget time.Duration
+		if cfg.tolerant() {
+			budget = time.Until(deadline)
+			if budget <= 0 {
+				out.timeouts++
+				return out
+			}
+		}
+		msg, err := cluster.RecvWithTimeout(conn, budget)
+		if errors.Is(err, cluster.ErrTimeout) {
+			out.timeouts++
+			return out
+		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("trainer: recv from worker %d: %w", w, err)
+			out.err = fmt.Errorf("trainer: recv from worker %d: %w", w, err)
+			return out
+		}
+		kind, tag, payload, err := parseFrame(msg)
+		if err != nil {
+			if !cfg.tolerant() {
+				out.err = fmt.Errorf("trainer: frame from worker %d: %w", w, err)
+				return out
+			}
+			out.corrupt++
+			continue
+		}
+		if kind != frameGrad || tag != round {
+			if !cfg.tolerant() {
+				out.err = fmt.Errorf("trainer: worker %d sent kind 0x%02x round %d during round %d",
+					w, kind, tag, round)
+				return out
+			}
+			out.stale++
+			continue
 		}
 		t0 := time.Now()
-		g, err := cfg.Codec.Decode(msg)
-		d := time.Since(t0)
+		g, err := cfg.Codec.Decode(payload)
+		out.decodeNs += time.Since(t0).Nanoseconds()
 		if err != nil {
-			return nil, d, fmt.Errorf("trainer: decode from worker %d: %w", w, err)
+			if !cfg.tolerant() {
+				out.err = fmt.Errorf("trainer: decode from worker %d: %w", w, err)
+				return out
+			}
+			out.corrupt++
+			continue
 		}
-		return g, d, nil
+		out.g = g
+		return out
 	}
+}
 
-	grads := make([]*gradient.Sparse, cfg.Workers)
+// gatherRound receives and decodes one gradient per worker for the given
+// round, then folds the arrivals into acc. With W > 1 the receive+decode
+// pairs run on W goroutines; the single-worker case keeps the plain serial
+// path. The decode meter accumulates the sum of per-goroutine decode
+// durations, not wall time, so DecodeTime reports the same CPU cost at any
+// parallelism. Accumulator adds always happen sequentially in worker order,
+// keeping the float summation (and thus training) deterministic.
+//
+// Strict mode (RoundDeadline == 0) requires all W gradients and any fault
+// aborts. Tolerant mode aggregates whatever arrived by the deadline,
+// weighting each of the m arrivals 1/m so the aggregate stays an unbiased
+// mean; it aborts only on quorum loss (fewer than
+// ceil(MinGatherFraction·W) arrivals) or when one worker reaches MaxStrikes
+// consecutive misses.
+func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, strikes []int, acc *gradient.Accumulator, es *EpochStats, driverDecode *time.Duration) error {
+	outs := make([]gatherOutcome, cfg.Workers)
 	if cfg.Workers == 1 {
-		g, d, err := recvDecode(0)
-		*driverDecode += d
-		if err != nil {
-			return err
-		}
-		grads[0] = g
+		outs[0] = recvGradient(cfg, driverSide[0], 0, round)
 	} else {
-		errs := make([]error, cfg.Workers)
-		decodeNs := make([]int64, cfg.Workers)
 		var wg sync.WaitGroup
 		wg.Add(cfg.Workers)
 		for w := 0; w < cfg.Workers; w++ {
 			go func(w int) {
 				defer wg.Done()
-				g, d, err := recvDecode(w)
-				decodeNs[w] = d.Nanoseconds()
-				grads[w], errs[w] = g, err
+				outs[w] = recvGradient(cfg, driverSide[w], w, round)
 			}(w)
 		}
 		wg.Wait()
-		for w := 0; w < cfg.Workers; w++ {
-			*driverDecode += time.Duration(decodeNs[w])
+	}
+	arrived := 0
+	for w := range outs {
+		*driverDecode += time.Duration(outs[w].decodeNs)
+		es.Timeouts += outs[w].timeouts
+		es.CorruptFrames += outs[w].corrupt
+		es.StaleFrames += outs[w].stale
+		if outs[w].g != nil {
+			arrived++
 		}
-		for _, err := range errs {
-			if err != nil {
+	}
+	if !cfg.tolerant() {
+		for w := range outs {
+			if outs[w].err != nil {
+				return outs[w].err
+			}
+		}
+		for w := range outs {
+			if err := acc.Add(outs[w].g, 1.0/float64(cfg.Workers)); err != nil {
 				return err
 			}
 		}
+		return nil
 	}
-	for w := 0; w < cfg.Workers; w++ {
-		if err := acc.Add(grads[w], 1.0/float64(cfg.Workers)); err != nil {
+	quorum := int(math.Ceil(cfg.MinGatherFraction * float64(cfg.Workers)))
+	if quorum < 1 {
+		quorum = 1
+	}
+	if arrived < quorum {
+		return fmt.Errorf("trainer: round %d: quorum lost, only %d/%d gradients arrived (need %d)",
+			round, arrived, cfg.Workers, quorum)
+	}
+	for w := range outs {
+		if outs[w].g != nil {
+			strikes[w] = 0
+			continue
+		}
+		es.SkippedGrads++
+		strikes[w]++
+		es.Strikes++
+		if strikes[w] >= cfg.MaxStrikes {
+			return fmt.Errorf("trainer: worker %d missed %d consecutive rounds (through round %d)",
+				w, strikes[w], round)
+		}
+	}
+	if arrived < cfg.Workers {
+		es.DegradedRounds++
+	}
+	for w := range outs {
+		if outs[w].g == nil {
+			continue
+		}
+		if err := acc.Add(outs[w].g, 1.0/float64(arrived)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// collectReport receives worker w's end-of-run report, skipping any stale
+// gradient frames still queued ahead of it. In tolerant mode the whole
+// collection is bounded by cfg.RoundDeadline.
+func collectReport(cfg Config, conn cluster.Conn, w int) (workerReport, error) {
+	var deadline time.Time
+	if cfg.tolerant() {
+		deadline = time.Now().Add(cfg.RoundDeadline)
+	}
+	for {
+		var budget time.Duration
+		if cfg.tolerant() {
+			budget = time.Until(deadline)
+			if budget <= 0 {
+				return workerReport{}, fmt.Errorf("trainer: report from worker %d: %w", w, cluster.ErrTimeout)
+			}
+		}
+		msg, err := cluster.RecvWithTimeout(conn, budget)
+		if err != nil {
+			return workerReport{}, fmt.Errorf("trainer: report from worker %d: %w", w, err)
+		}
+		kind, _, payload, err := parseFrame(msg)
+		if err != nil || kind != frameReport {
+			if !cfg.tolerant() {
+				if err == nil {
+					err = fmt.Errorf("unexpected frame kind 0x%02x", kind)
+				}
+				return workerReport{}, fmt.Errorf("trainer: report from worker %d: %w", w, err)
+			}
+			continue // late gradient from a degraded round, or a corrupt frame
+		}
+		rep, err := parseWorkerReport(payload)
+		if err != nil {
+			if !cfg.tolerant() {
+				return workerReport{}, fmt.Errorf("trainer: report from worker %d: %w", w, err)
+			}
+			continue
+		}
+		return rep, nil
+	}
 }
 
 func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch, totalRounds int, seed int64) error {
@@ -521,6 +799,10 @@ func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch
 	batcher := dataset.NewBatcher(shard, localBatch, seed)
 	var rep workerReport
 	var buf []*dataset.Instance
+	// misses counts consecutive broadcast waits that expired; it is the
+	// worker-side liveness bound (the driver may legitimately go quiet for
+	// a while during an outage on this link, but not forever).
+	misses := 0
 	for round := 0; round < totalRounds; round++ {
 		t0 := time.Now()
 		buf = batcher.Next(buf)
@@ -535,25 +817,75 @@ func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch
 		if err != nil {
 			return fmt.Errorf("trainer: worker encode: %w", err)
 		}
-		if err := conn.Send(msg); err != nil {
+		if err := conn.Send(appendFrame(make([]byte, 0, frameHeaderLen+len(msg)), frameGrad, round, msg)); err != nil {
 			return fmt.Errorf("trainer: worker send: %w", err)
 		}
 
-		down, err := conn.Recv()
-		if err != nil {
-			return fmt.Errorf("trainer: worker recv: %w", err)
+		// Wait for the aggregate. The worker never free-runs: it advances
+		// only on a received broadcast, so every gradient it sends is fresh
+		// (sent moments after the previous round closed) and a worker that
+		// missed rounds resynchronizes the moment any newer aggregate
+		// reaches it — the round tag tells it where the driver is. The wait
+		// budget is twice the driver's deadline because a degraded gather
+		// legitimately holds the broadcast back a full RoundDeadline; an
+		// equal budget would expire moments before every such broadcast.
+		var agg *gradient.Sparse
+		for {
+			down, err := cluster.RecvWithTimeout(conn, 2*cfg.RoundDeadline)
+			if cfg.tolerant() && errors.Is(err, cluster.ErrTimeout) {
+				rep.timeouts++
+				misses++
+				if misses >= cfg.MaxStrikes {
+					return fmt.Errorf("trainer: worker lost contact with driver (%d broadcast waits expired)", misses)
+				}
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("trainer: worker recv: %w", err)
+			}
+			kind, tag, payload, perr := parseFrame(down)
+			if perr != nil {
+				if !cfg.tolerant() {
+					return fmt.Errorf("trainer: worker frame: %w", perr)
+				}
+				rep.corrupt++
+				continue
+			}
+			if kind != frameGrad || tag != round {
+				if !cfg.tolerant() {
+					return fmt.Errorf("trainer: worker got kind 0x%02x round %d during round %d", kind, tag, round)
+				}
+				if kind != frameGrad || tag < round {
+					continue // stale duplicate of an earlier broadcast
+				}
+				// The driver has moved on: broadcasts for rounds
+				// [round, tag) never made it here. Fast-forward onto the
+				// newest aggregate and rejoin the current round.
+				rep.skippedSteps += int64(tag - round)
+				round = tag
+			}
+			t0 = time.Now()
+			agg, err = cfg.Codec.Decode(payload)
+			rep.decodeNs += time.Since(t0).Nanoseconds()
+			if err != nil {
+				if !cfg.tolerant() {
+					return fmt.Errorf("trainer: worker decode: %w", err)
+				}
+				// Undecodable aggregate: skip this step rather than apply junk.
+				rep.corrupt++
+				rep.skippedSteps++
+				agg = nil
+			}
+			break
 		}
-		t0 = time.Now()
-		agg, err := cfg.Codec.Decode(down)
-		rep.decodeNs += time.Since(t0).Nanoseconds()
-		if err != nil {
-			return fmt.Errorf("trainer: worker decode: %w", err)
-		}
-		if err := opt.Step(theta, agg); err != nil {
-			return err
+		misses = 0
+		if agg != nil {
+			if err := opt.Step(theta, agg); err != nil {
+				return err
+			}
 		}
 	}
-	return conn.Send(rep.marshal())
+	return conn.Send(appendFrame(make([]byte, 0, frameHeaderLen+workerReportLen), frameReport, totalRounds, rep.marshal()))
 }
 
 // paramsInitializer is implemented by trainables (e.g. model.FM) whose

@@ -225,7 +225,10 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestWorkerReportRoundTrip(t *testing.T) {
-	rep := workerReport{computeNs: 123, encodeNs: 456, decodeNs: 789, lossSum: 1.5, rounds: 10}
+	rep := workerReport{
+		computeNs: 123, encodeNs: 456, decodeNs: 789, lossSum: 1.5, rounds: 10,
+		timeouts: 3, corrupt: 2, skippedSteps: 4,
+	}
 	got, err := parseWorkerReport(rep.marshal())
 	if err != nil {
 		t.Fatal(err)

@@ -151,6 +151,16 @@ type TrainResult = trainer.Result
 // EpochStats is one epoch of a training run.
 type EpochStats = trainer.EpochStats
 
+// ChaosSpec configures seeded fault injection on the training links (set
+// TrainConfig.Chaos): per-direction drop/corrupt/duplicate/delay
+// probabilities, all decided deterministically from the seed.
+type ChaosSpec = cluster.ChaosSpec
+
+// OutageWindow marks a range of frame ordinals during which a link drops
+// everything — a transient disconnect that later heals (set
+// TrainConfig.ChaosOutage).
+type OutageWindow = cluster.OutageWindow
+
 // Train executes the paper's synchronous distributed training loop:
 // the training set is sharded over cfg.Workers workers, each round every
 // worker's gradient travels through cfg.Codec to the driver, and the
