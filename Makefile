@@ -23,6 +23,11 @@ MATRIX_PKGS         ?= ./internal/codec ./internal/trainer ./internal/cluster
 # Flags for `make bench`; override with e.g. BENCHFLAGS=-benchtime=1x for a
 # smoke run that only checks the pipeline still works.
 BENCHFLAGS ?= -benchtime=0.5s
+# bench-check tolerance in percent, and extra benchjson flags. CI passes
+# BENCH_COMPARE_FLAGS=-alloc-only because committed wall times mean
+# nothing on another machine, while allocation counts are stable.
+BENCH_TOLERANCE ?= 25
+BENCH_COMPARE_FLAGS ?=
 # Fault seed for the race-matrix chaos point; the default chaos-soak run
 # uses the test's built-in seed, so the matrix exercises a second schedule.
 CHAOS_MATRIX_SEED ?= 7
@@ -34,7 +39,7 @@ FUZZ_TARGETS := \
 	./internal/keycoding:FuzzDeltaRoundTrip \
 	./internal/keycoding:FuzzDecodeDeltaRobust
 
-.PHONY: all build fmt vet lint test race race-matrix chaos-soak fuzz fuzz-smoke bench verify clean
+.PHONY: all build fmt vet lint test race race-matrix chaos-soak fuzz fuzz-smoke bench bench-check verify clean
 
 all: verify
 
@@ -103,6 +108,16 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_codec.json < bench.out
 	@rm -f bench.out
 	@echo "bench: wrote BENCH_codec.json"
+
+# bench-check is the regression gate: rerun the codec benchmarks and exit
+# nonzero when a metric regresses more than BENCH_TOLERANCE percent
+# against the committed BENCH_codec.json baseline (ns/op and B/op by
+# default; allocs/op and B/op with BENCH_COMPARE_FLAGS=-alloc-only).
+bench-check:
+	@$(GO) test ./internal/codec -run '^$$' -bench BenchmarkEncodeDecode -benchmem -count=1 $(BENCHFLAGS) > bench.out || \
+		{ cat bench.out; rm -f bench.out; exit 1; }
+	@$(GO) run ./cmd/benchjson -compare BENCH_codec.json -threshold $(BENCH_TOLERANCE) $(BENCH_COMPARE_FLAGS) < bench.out; \
+		rc=$$?; rm -f bench.out; exit $$rc
 
 verify: build fmt vet lint test race-matrix chaos-soak fuzz-smoke
 	@echo "verify: all gates passed"

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	go test ./internal/codec -bench . -benchmem | benchjson -o BENCH_codec.json
+//	go test ./internal/codec -bench . -benchmem | benchjson -compare BENCH_codec.json
+//	benchjson -o combined.json -merge-report report.json < bench.out
 //
 // It parses the standard benchmark line format
 //
@@ -13,6 +15,17 @@
 // keeping ns/op, B/op, allocs/op as first-class fields and any extra
 // ReportMetric pairs in a metrics map. Context lines (goos/goarch/pkg/cpu)
 // are captured into the header.
+//
+// -compare turns benchjson into a regression gate: the fresh results on
+// stdin are checked against a committed baseline and the exit status is
+// nonzero when ns/op or B/op regresses more than -threshold percent
+// (default 25). -alloc-only restricts the check to B/op and allocs/op for
+// cross-machine CI, where wall timing against a committed baseline is
+// meaningless but allocation counts are stable.
+//
+// -merge-report embeds a training run report (written by `sketchml
+// -metrics-out`) into the output document, pairing a run's compression and
+// stage accounting with the micro-benchmark numbers of the same commit.
 package main
 
 import (
@@ -22,8 +35,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+
+	"sketchml/internal/obs"
 )
 
 // Entry is one benchmark result line.
@@ -43,10 +59,17 @@ type Report struct {
 	Pkg     string  `json:"pkg,omitempty"`
 	CPU     string  `json:"cpu,omitempty"`
 	Results []Entry `json:"results"`
+	// RunReport is an optional embedded training run report (-merge-report),
+	// tying a run's wire/stage accounting to the same commit's benchmarks.
+	RunReport *obs.RunReport `json:"run_report,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to compare against; exit nonzero on regression")
+	threshold := flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+	allocOnly := flag.Bool("alloc-only", false, "with -compare, check only B/op and allocs/op (cross-machine CI: committed ns/op is not comparable)")
+	mergeReport := flag.String("merge-report", "", "embed this training run report (from `sketchml -metrics-out`) in the output")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -57,6 +80,39 @@ func main() {
 	if len(rep.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
 		os.Exit(1)
+	}
+	if *mergeReport != "" {
+		rr, err := obs.ReadReportFile(*mergeReport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.RunReport = rr
+	}
+
+	if *compare != "" {
+		base, err := readBaseline(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regs, matched, err := compareReports(base, rep, *threshold, *allocOnly)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% across %d compared benchmark(s)\n",
+				len(regs), *threshold, matched)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %d benchmark(s) within %.0f%% of %s\n", matched, *threshold, *compare)
+		if *out == "" {
+			return // gate mode: no JSON dump unless explicitly requested
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -73,6 +129,77 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// readBaseline loads a committed benchmark baseline document.
+func readBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// trimProcs strips the "-N" GOMAXPROCS suffix the testing package appends
+// to benchmark names on multi-proc runs, so a baseline recorded on one
+// machine still matches output from another. Names whose final hyphen
+// segment is not all digits (e.g. ".../par1") pass through untouched.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareReports checks cur against base benchmark-by-benchmark (matched by
+// full name, GOMAXPROCS suffix ignored) and describes every metric that
+// regressed by more than thresholdPct percent. Benchmarks present on only
+// one side are skipped — renames must not hard-fail the gate — but zero
+// matches is an error so a renamed-everything baseline cannot silently
+// pass. Improvements and within-threshold noise pass. allocOnly swaps the
+// ns/op check for allocs/op and keeps B/op, the machine-independent pair.
+func compareReports(base, cur *Report, thresholdPct float64, allocOnly bool) (regressions []string, matched int, err error) {
+	baseline := make(map[string]Entry, len(base.Results))
+	for _, e := range base.Results {
+		baseline[trimProcs(e.Name)] = e
+	}
+	for _, e := range cur.Results {
+		b, ok := baseline[trimProcs(e.Name)]
+		if !ok {
+			continue
+		}
+		matched++
+		check := func(metric string, old, now float64) {
+			if old <= 0 {
+				return // metric absent from the baseline entry
+			}
+			pct := (now - old) / old * 100
+			if pct > thresholdPct {
+				regressions = append(regressions, fmt.Sprintf("%s: %s %.6g -> %.6g (+%.1f%%)",
+					e.Name, metric, old, now, pct))
+			}
+		}
+		if allocOnly {
+			check("allocs/op", b.AllocsPerOp, e.AllocsPerOp)
+		} else {
+			check("ns/op", b.NsPerOp, e.NsPerOp)
+		}
+		check("B/op", b.BytesPerOp, e.BytesPerOp)
+	}
+	if matched == 0 {
+		return nil, 0, fmt.Errorf("no benchmark names in common with the baseline (%d baseline, %d current)",
+			len(base.Results), len(cur.Results))
+	}
+	sort.Strings(regressions)
+	return regressions, matched, nil
 }
 
 func parse(r io.Reader) (*Report, error) {

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"sketchml/internal/obs"
 )
 
 func TestParseBenchOutput(t *testing.T) {
@@ -47,6 +50,144 @@ func TestParseLineRejectsMalformed(t *testing.T) {
 		if _, err := parseLine(line); err == nil {
 			t.Errorf("parseLine(%q): want error, got nil", line)
 		}
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := &Report{Results: []Entry{
+		{Name: "BenchmarkA/fast", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkA/slow", NsPerOp: 200, BytesPerOp: 2000, AllocsPerOp: 20},
+		{Name: "BenchmarkOnlyInBase", NsPerOp: 50},
+	}}
+
+	t.Run("within threshold passes", func(t *testing.T) {
+		cur := &Report{Results: []Entry{
+			{Name: "BenchmarkA/fast", NsPerOp: 110, BytesPerOp: 1100, AllocsPerOp: 11}, // +10%
+			{Name: "BenchmarkA/slow", NsPerOp: 150, BytesPerOp: 1500, AllocsPerOp: 15}, // improvement
+		}}
+		regs, matched, err := compareReports(base, cur, 25, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matched != 2 || len(regs) != 0 {
+			t.Fatalf("matched=%d regs=%v, want 2 matches and no regressions", matched, regs)
+		}
+	})
+
+	t.Run("regression detected per metric", func(t *testing.T) {
+		cur := &Report{Results: []Entry{
+			{Name: "BenchmarkA/fast", NsPerOp: 200, BytesPerOp: 1000, AllocsPerOp: 10}, // ns/op +100%
+			{Name: "BenchmarkA/slow", NsPerOp: 200, BytesPerOp: 3000, AllocsPerOp: 20}, // B/op +50%
+		}}
+		regs, _, err := compareReports(base, cur, 25, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 2 {
+			t.Fatalf("regressions %v, want exactly 2", regs)
+		}
+		if !strings.Contains(regs[0], "BenchmarkA/fast: ns/op") ||
+			!strings.Contains(regs[1], "BenchmarkA/slow: B/op") {
+			t.Errorf("unexpected regression lines: %v", regs)
+		}
+	})
+
+	t.Run("alloc-only ignores ns/op and checks allocs/op", func(t *testing.T) {
+		cur := &Report{Results: []Entry{
+			{Name: "BenchmarkA/fast", NsPerOp: 10000, BytesPerOp: 1000, AllocsPerOp: 20}, // allocs +100%
+		}}
+		regs, _, err := compareReports(base, cur, 25, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+			t.Fatalf("regressions %v, want exactly one allocs/op line", regs)
+		}
+	})
+
+	t.Run("procs suffix normalized", func(t *testing.T) {
+		cur := &Report{Results: []Entry{
+			{Name: "BenchmarkA/fast-8", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		}}
+		_, matched, err := compareReports(base, cur, 25, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matched != 1 {
+			t.Fatalf("matched=%d, want the -8 suffix to be ignored", matched)
+		}
+	})
+
+	t.Run("unmatched skipped but zero matches errors", func(t *testing.T) {
+		cur := &Report{Results: []Entry{
+			{Name: "BenchmarkRenamedEverything", NsPerOp: 1},
+		}}
+		if _, _, err := compareReports(base, cur, 25, false); err == nil {
+			t.Fatal("want error when no names match the baseline")
+		}
+	})
+
+	t.Run("metric absent from baseline skipped", func(t *testing.T) {
+		zb := &Report{Results: []Entry{{Name: "BenchmarkZ", NsPerOp: 100}}} // no B/op recorded
+		cur := &Report{Results: []Entry{{Name: "BenchmarkZ", NsPerOp: 100, BytesPerOp: 99999}}}
+		regs, matched, err := compareReports(zb, cur, 25, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matched != 1 || len(regs) != 0 {
+			t.Fatalf("matched=%d regs=%v, want B/op check skipped when baseline has none", matched, regs)
+		}
+	})
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":                  "BenchmarkX",
+		"BenchmarkX-16":                 "BenchmarkX",
+		"BenchmarkX":                    "BenchmarkX",
+		"BenchmarkX/q256_r8_nnz_par1":   "BenchmarkX/q256_r8_nnz_par1", // par1 is not a procs suffix
+		"BenchmarkX/sub-case":           "BenchmarkX/sub-case",
+		"BenchmarkEncode/nnz500_par1-4": "BenchmarkEncode/nnz500_par1",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMergedRunReportRoundTrip pins the -merge-report document shape: a
+// benchmark report with an embedded training run report must survive a
+// JSON round trip with the run report's accounting intact, and stay
+// readable by plain benchjson consumers when the field is absent.
+func TestMergedRunReportRoundTrip(t *testing.T) {
+	rr := &obs.RunReport{
+		Tool: "sketchml", Codec: "sketchml", Model: "LR",
+		Workers: 3, Compression: 4.5, TotalUpBytes: 1000, TotalRawUpBytes: 4500,
+	}
+	doc := &Report{
+		Results:   []Entry{{Name: "BenchmarkA", Iterations: 1, NsPerOp: 42}},
+		RunReport: rr,
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.RunReport == nil || back.RunReport.Compression != 4.5 || back.RunReport.Workers != 3 {
+		t.Fatalf("embedded run report lost in round trip: %+v", back.RunReport)
+	}
+
+	// Without a merge the field must vanish entirely, not appear as null.
+	doc.RunReport = nil
+	data, err = json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "run_report") {
+		t.Errorf("run_report key serialized for a plain report: %s", data)
 	}
 }
 

@@ -12,6 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (served only with -pprof)
 	"os"
 
 	"sketchml"
@@ -22,26 +25,34 @@ import (
 
 func main() {
 	var (
-		data      = flag.String("data", "kdd10", "dataset: kdd10|kdd12|ctr or a LibSVM file path")
-		modelN    = flag.String("model", "LR", "model: LR|SVM|Linear")
-		codecN    = flag.String("codec", "sketchml", "codec: sketchml|adam|adam32|zipml8|zipml16|key|keyquan|onebit|topk|topk-ef")
-		workers   = flag.Int("workers", 4, "number of workers")
-		epochs    = flag.Int("epochs", 3, "training epochs")
-		batch     = flag.Float64("batch", 0.1, "mini-batch fraction of the training set")
-		lr        = flag.Float64("lr", 0.1, "Adam learning rate")
-		lambda    = flag.Float64("lambda", 0.01, "L2 regularization")
-		seed      = flag.Int64("seed", 1, "random seed")
-		useTCP    = flag.Bool("tcp", false, "exchange gradients over loopback TCP")
-		buckets   = flag.Int("buckets", 256, "SketchML quantile buckets (q)")
-		rows      = flag.Int("rows", 2, "MinMaxSketch rows (s)")
-		groups    = flag.Int("groups", 8, "MinMaxSketch groups (r)")
-		colsFrac  = flag.Float64("cols", 0.2, "MinMaxSketch columns as a fraction of nnz (t/d)")
-		topology  = flag.String("topology", "driver", "aggregation topology: driver|ps|ssp")
-		servers   = flag.Int("servers", 4, "parameter servers (topology=ps)")
-		staleness = flag.Int("staleness", 2, "staleness bound (topology=ssp)")
-		straggler = flag.Float64("straggler", 1, "slowdown factor of the last worker (topology=ssp)")
+		data       = flag.String("data", "kdd10", "dataset: kdd10|kdd12|ctr or a LibSVM file path")
+		modelN     = flag.String("model", "LR", "model: LR|SVM|Linear")
+		codecN     = flag.String("codec", "sketchml", "codec: sketchml|adam|adam32|zipml8|zipml16|key|keyquan|onebit|topk|topk-ef")
+		workers    = flag.Int("workers", 4, "number of workers")
+		epochs     = flag.Int("epochs", 3, "training epochs")
+		batch      = flag.Float64("batch", 0.1, "mini-batch fraction of the training set")
+		lr         = flag.Float64("lr", 0.1, "Adam learning rate")
+		lambda     = flag.Float64("lambda", 0.01, "L2 regularization")
+		seed       = flag.Int64("seed", 1, "random seed")
+		useTCP     = flag.Bool("tcp", false, "exchange gradients over loopback TCP")
+		buckets    = flag.Int("buckets", 256, "SketchML quantile buckets (q)")
+		rows       = flag.Int("rows", 2, "MinMaxSketch rows (s)")
+		groups     = flag.Int("groups", 8, "MinMaxSketch groups (r)")
+		colsFrac   = flag.Float64("cols", 0.2, "MinMaxSketch columns as a fraction of nnz (t/d)")
+		topology   = flag.String("topology", "driver", "aggregation topology: driver|ps|ssp")
+		servers    = flag.Int("servers", 4, "parameter servers (topology=ps)")
+		staleness  = flag.Int("staleness", 2, "staleness bound (topology=ssp)")
+		straggler  = flag.Float64("straggler", 1, "slowdown factor of the last worker (topology=ssp)")
+		metricsOut = flag.String("metrics-out", "", "write a validated JSON run report (per-epoch wire bytes, compression ratio, stage times, sketch error, full metrics snapshot) to this path; topology=driver only")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the duration of the run")
 	)
 	flag.Parse()
+	if *metricsOut != "" && *topology != "driver" {
+		fatal(fmt.Errorf("-metrics-out requires -topology driver (got %q)", *topology))
+	}
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
 
 	ds, err := loadDataset(*data, *seed)
 	if err != nil {
@@ -51,7 +62,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := buildCodec(*codecN, *buckets, *rows, *groups, *colsFrac)
+	// One registry spans trainer, codec, and cluster so the run report's
+	// cross-layer consistency checks (wire bytes vs. transport counters)
+	// have one coherent view. nil when no report is requested — the
+	// instrumented layers then cost a pointer compare each.
+	var reg *sketchml.Metrics
+	if *metricsOut != "" {
+		reg = sketchml.NewMetrics()
+	}
+	c, err := buildCodec(*codecN, *buckets, *rows, *groups, *colsFrac, reg)
 	if err != nil {
 		fatal(err)
 	}
@@ -72,6 +91,7 @@ func main() {
 		Lambda:        *lambda,
 		Seed:          *seed,
 		UseTCP:        *useTCP,
+		Metrics:       reg,
 	}
 	var res *sketchml.TrainResult
 	switch *topology {
@@ -104,6 +124,40 @@ func main() {
 	fmt.Println(table.String())
 	fmt.Printf("final: loss %.4f, accuracy %.3f, avg %.1f KB/round upstream\n",
 		res.FinalLoss, res.FinalAccuracy, res.AvgUpBytesPerRound()/1024)
+
+	if *metricsOut != "" {
+		rpt, err := sketchml.BuildRunReport("sketchml", res, reg)
+		if err != nil {
+			fatal(fmt.Errorf("run report inconsistent: %w", err))
+		}
+		if err := rpt.WriteFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report: %s (compression %.1fx, %d up bytes",
+			*metricsOut, rpt.Compression, rpt.TotalUpBytes)
+		if rpt.SketchError != nil {
+			fmt.Printf(", mean abs err %.3g, %d sign flips", rpt.SketchError.MeanAbsErr, rpt.SketchError.SignFlips)
+		}
+		fmt.Println(")")
+	}
+}
+
+// startPprof serves net/http/pprof for the process lifetime. The listener
+// is bound synchronously so a bad address fails fast; the serve loop runs
+// until exit (done is closed only if the server stops early).
+func startPprof(addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("pprof listen: %w", err))
+	}
+	fmt.Printf("pprof: http://%s/debug/pprof/\n", ln.Addr())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "sketchml: pprof server: %v\n", err)
+		}
+	}()
 }
 
 func loadDataset(name string, seed int64) (*sketchml.Dataset, error) {
@@ -123,12 +177,13 @@ func loadDataset(name string, seed int64) (*sketchml.Dataset, error) {
 	return dataset.ParseLibSVM(f, 0)
 }
 
-func buildCodec(name string, buckets, rows, groups int, colsFrac float64) (sketchml.Codec, error) {
+func buildCodec(name string, buckets, rows, groups int, colsFrac float64, reg *sketchml.Metrics) (sketchml.Codec, error) {
 	opts := codec.DefaultOptions()
 	opts.Buckets = buckets
 	opts.Rows = rows
 	opts.Groups = groups
 	opts.ColsFraction = colsFrac
+	opts.Metrics = reg
 	switch name {
 	case "sketchml":
 		return codec.NewSketchML(opts)

@@ -146,9 +146,12 @@ type Stats struct {
 }
 
 // CountingConn wraps a Conn and tallies traffic. Safe for the same
-// concurrency contract as the underlying Conn.
+// concurrency contract as the underlying Conn. When built with
+// NewCountingObserved it additionally mirrors every tally into the shared
+// ConnMetrics counters, aggregating across all links of a run.
 type CountingConn struct {
 	inner     Conn
+	met       ConnMetrics
 	bytesSent atomic.Int64
 	bytesRecv atomic.Int64
 	msgsSent  atomic.Int64
@@ -160,6 +163,12 @@ func NewCounting(inner Conn) *CountingConn {
 	return &CountingConn{inner: inner}
 }
 
+// NewCountingObserved wraps inner with traffic accounting that also feeds
+// the shared metrics counters (the zero ConnMetrics records nothing).
+func NewCountingObserved(inner Conn, met ConnMetrics) *CountingConn {
+	return &CountingConn{inner: inner, met: met}
+}
+
 // Send implements Conn.
 func (c *CountingConn) Send(msg []byte) error {
 	if err := c.inner.Send(msg); err != nil {
@@ -167,6 +176,8 @@ func (c *CountingConn) Send(msg []byte) error {
 	}
 	c.bytesSent.Add(int64(len(msg)))
 	c.msgsSent.Add(1)
+	c.met.BytesSent.Add(int64(len(msg)))
+	c.met.MsgsSent.Inc()
 	return nil
 }
 
@@ -178,18 +189,26 @@ func (c *CountingConn) Recv() ([]byte, error) {
 	}
 	c.bytesRecv.Add(int64(len(msg)))
 	c.msgsRecv.Add(1)
+	c.met.BytesRecv.Add(int64(len(msg)))
+	c.met.MsgsRecv.Inc()
 	return msg, nil
 }
 
 // RecvTimeout implements DeadlineConn, delegating the deadline to the
-// wrapped connection when it supports one.
+// wrapped connection when it supports one. Expired deadlines feed the
+// recv-timeout counter so degraded rounds are visible in the metrics.
 func (c *CountingConn) RecvTimeout(d time.Duration) ([]byte, error) {
 	msg, err := RecvWithTimeout(c.inner, d)
 	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			c.met.RecvTimeouts.Inc()
+		}
 		return nil, err
 	}
 	c.bytesRecv.Add(int64(len(msg)))
 	c.msgsRecv.Add(1)
+	c.met.BytesRecv.Add(int64(len(msg)))
+	c.met.MsgsRecv.Inc()
 	return msg, nil
 }
 

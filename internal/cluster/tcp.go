@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sketchml/internal/obs"
 )
 
 // maxFrame bounds a single message to guard against corrupt length headers.
@@ -196,7 +198,12 @@ func jitteredBackoff(rng *rand.Rand, backoff time.Duration) time.Duration {
 // exponential backoff until dialDeadline; permanent failures (unresolvable
 // host, malformed address) abort immediately. The returned error wraps the
 // last dial error and records how many attempts were made.
-func Dial(addr string) (Conn, error) {
+func Dial(addr string) (Conn, error) { return DialObserved(addr, nil) }
+
+// DialObserved is Dial with retry accounting: every retried attempt (i.e.
+// attempts beyond the first) increments retries. A nil counter records
+// nothing, so Dial delegates here unconditionally.
+func DialObserved(addr string, retries *obs.Counter) (Conn, error) {
 	deadline := time.Now().Add(dialDeadline)
 	backoff := dialInitialBackoff
 	// Seeded per-call source: deterministic given the seed and call index,
@@ -217,6 +224,7 @@ func Dial(addr string) (Conn, error) {
 			return nil, fmt.Errorf("cluster: dial %s: gave up after %d attempt(s): %w",
 				addr, attempt, lastErr)
 		}
+		retries.Inc()
 		time.Sleep(jitteredBackoff(rng, backoff))
 		backoff *= 2
 		if backoff > dialMaxBackoff {

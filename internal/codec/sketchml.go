@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"sketchml/internal/bitpack"
 	"sketchml/internal/gradient"
 	"sketchml/internal/hashing"
 	"sketchml/internal/keycoding"
+	"sketchml/internal/obs"
 	"sketchml/internal/quantizer"
 	"sketchml/internal/sketch/minmax"
 )
@@ -47,6 +49,12 @@ type Options struct {
 	// KLL, the algorithm behind the DataSketches library the paper used.
 	// The choice never affects the wire format — only split quality.
 	Algo quantizer.SketchAlgo
+	// Metrics, when non-nil, receives the codec's observability stream:
+	// encode/decode counts and latencies, input floats vs. wire bytes, and
+	// the quantile bucket-index distribution. nil (the default) disables
+	// every instrument at the cost of one pointer compare per gated block;
+	// the wire format is identical either way.
+	Metrics *obs.Registry
 
 	// Component switches for the Figure 8 ablation. MinMax requires
 	// Quantize.
@@ -75,6 +83,7 @@ func DefaultOptions() Options {
 // SketchML is the paper's compression framework.
 type SketchML struct {
 	opts Options
+	met  *codecMetrics // nil unless Options.Metrics is set
 }
 
 // NewSketchML validates opts and builds the codec.
@@ -103,7 +112,7 @@ func NewSketchML(opts Options) (*SketchML, error) {
 	if opts.MinMax && !opts.Quantize {
 		return nil, errors.New("codec: MinMax requires Quantize")
 	}
-	return &SketchML{opts: opts}, nil
+	return &SketchML{opts: opts, met: newCodecMetrics(opts.Metrics)}, nil
 }
 
 // MustSketchML is NewSketchML that panics on bad options; for tests and
@@ -147,7 +156,18 @@ const (
 
 // Encode implements Codec.
 func (c *SketchML) Encode(g *gradient.Sparse) ([]byte, error) {
+	m := c.met
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	out, _, err := c.encode(g)
+	if m != nil && err == nil {
+		m.encodeNs.Since(t0)
+		m.encodes.Inc()
+		m.inFloats.Add(int64(len(g.Values)))
+		m.outBytes.Add(int64(len(out)))
+	}
 	return out, err
 }
 
@@ -251,9 +271,16 @@ func (c *SketchML) encode(g *gradient.Sparse) ([]byte, Breakdown, error) {
 		defer putBytes(bufs[0])
 		defer putBytes(bufs[1])
 		err := forEach(par, 2, func(i int) error {
+			var pt0 time.Time
+			if c.met != nil {
+				pt0 = time.Now()
+			}
 			var perr error
 			*bufs[i], perr = c.encodePane((*bufs[i])[:0], &bds[i], msgSeed, g.Dim,
 				paneKeys[i], paneVals[i], uint64(i), wide)
+			if c.met != nil && perr == nil {
+				c.met.paneEncodeNs.Since(pt0)
+			}
 			return perr
 		})
 		if err != nil {
@@ -270,9 +297,16 @@ func (c *SketchML) encode(g *gradient.Sparse) ([]byte, Breakdown, error) {
 	}
 	var err error
 	for i := 0; i < 2; i++ {
+		var pt0 time.Time
+		if c.met != nil {
+			pt0 = time.Now()
+		}
 		out, err = c.encodePane(out, &bd, msgSeed, g.Dim, paneKeys[i], paneVals[i], uint64(i), wide)
 		if err != nil {
 			return nil, bd, err
+		}
+		if c.met != nil {
+			c.met.paneEncodeNs.Since(pt0)
 		}
 	}
 	return out, bd, nil
@@ -338,6 +372,7 @@ func (c *SketchML) encodePane(out []byte, bd *Breakdown, msgSeed uint64, dim uin
 		for i, v := range vals {
 			idx[i] = uint32(z.Bucket(v))
 		}
+		c.met.observeBucketIndexes(idx, len(means))
 		out = bitpack.AppendBlock(out, idx, bitpack.BitsFor(len(means)))
 		putU32(idxBuf)
 		bd.Values += len(out) - mark
@@ -384,6 +419,7 @@ func (c *SketchML) encodePane(out []byte, bd *Breakdown, msgSeed uint64, dim uin
 	for i, k := range keys {
 		grouped.Insert(k, int(buckets[i]))
 	}
+	c.met.observeBucketIndexes(buckets, len(means))
 	for g := 1; g <= ng; g++ {
 		counts[g] += counts[g-1] // now counts[g] is group g's start offset
 	}
@@ -475,6 +511,21 @@ func decodeKeys(r *reader, delta, wide bool) ([]uint64, error) {
 
 // Decode implements Codec.
 func (c *SketchML) Decode(data []byte) (*gradient.Sparse, error) {
+	m := c.met
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	g, err := c.decode(data)
+	if m != nil && err == nil {
+		m.decodeNs.Since(t0)
+		m.decodes.Inc()
+		m.inBytes.Add(int64(len(data)))
+	}
+	return g, err
+}
+
+func (c *SketchML) decode(data []byte) (*gradient.Sparse, error) {
 	r := &reader{data: data}
 	if err := checkTag(r, tagSketchML); err != nil {
 		return nil, err
@@ -547,10 +598,17 @@ func (c *SketchML) Decode(data []byte) (*gradient.Sparse, error) {
 			gpar = 1
 		}
 		err = forEach(par, 2, func(i int) error {
+			var pt0 time.Time
+			if c.met != nil {
+				pt0 = time.Now()
+			}
 			pr := &reader{data: paneData[i]}
 			pk, pv, perr := decodePane(pr, delta, mm, wide, uint64(i), seed, gpar)
 			if perr != nil {
 				return fmt.Errorf("codec: pane %d: %w", i, perr)
+			}
+			if c.met != nil {
+				c.met.paneDecodeNs.Since(pt0)
 			}
 			if i == 1 {
 				for _, list := range pv {
@@ -576,9 +634,16 @@ func (c *SketchML) Decode(data []byte) (*gradient.Sparse, error) {
 		}
 	} else {
 		for paneID := uint64(0); paneID < 2; paneID++ {
+			var pt0 time.Time
+			if c.met != nil {
+				pt0 = time.Now()
+			}
 			pk, pv, err := decodePane(r, delta, mm, wide, paneID, seed, 1)
 			if err != nil {
 				return nil, fmt.Errorf("codec: pane %d: %w", paneID, err)
+			}
+			if c.met != nil {
+				c.met.paneDecodeNs.Since(pt0)
 			}
 			if paneID == 1 {
 				for _, list := range pv {

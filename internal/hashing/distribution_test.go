@@ -1,0 +1,115 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+)
+
+// chi2 computes the chi-squared statistic of counts against a uniform
+// expectation.
+func chi2(counts []int, n int) float64 {
+	expected := float64(n) / float64(len(counts))
+	s := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		s += d * d / expected
+	}
+	return s
+}
+
+// chi2Bound is the 5-sigma acceptance ceiling for df degrees of freedom
+// (mean df, variance 2·df): loose enough to never flake, tight enough to
+// catch a broken mixer.
+func chi2Bound(df int) float64 {
+	return float64(df) + 5*math.Sqrt(2*float64(df))
+}
+
+// TestMix64ChiSquaredUniformity checks Mix64's bucket distribution over
+// the key patterns MinMaxSketch actually feeds it: sequential ids, strided
+// feature keys (the adversarial case for multiplicative mixers — low-order
+// structure must not survive), and a sparse power-of-two lattice. Each
+// pattern runs under several seeds; any (pattern, seed) with detectable
+// non-uniformity fails.
+func TestMix64ChiSquaredUniformity(t *testing.T) {
+	const buckets = 256
+	const n = 256 * 500
+	patterns := map[string]func(i uint64) uint64{
+		"sequential":    func(i uint64) uint64 { return i },
+		"strided_2_20":  func(i uint64) uint64 { return i << 20 },
+		"strided_64":    func(i uint64) uint64 { return i * 64 },
+		"po2_lattice":   func(i uint64) uint64 { return i * 0x100000001 },
+		"high_bits_set": func(i uint64) uint64 { return i | 0xFFFF000000000000 },
+	}
+	for name, gen := range patterns {
+		for _, seed := range []uint64{1, 0xdeadbeef, 2026} {
+			counts := make([]int, buckets)
+			for i := uint64(0); i < n; i++ {
+				counts[Mix64(gen(i), seed)%buckets]++
+			}
+			if c := chi2(counts, n); c > chi2Bound(buckets-1) {
+				t.Errorf("%s seed=%d: chi2 = %.1f > %.1f, non-uniform",
+					name, seed, c, chi2Bound(buckets-1))
+			}
+		}
+	}
+}
+
+// TestFamilyChiSquaredStridedKeys extends the existing sequential-key
+// uniformity test to strided keys through the Family used by the sketch
+// rows, where residual key structure would cluster collisions.
+func TestFamilyChiSquaredStridedKeys(t *testing.T) {
+	const buckets = 64
+	const n = 64 * 1000
+	f := NewFamily(2, buckets, 77)
+	for row := 0; row < 2; row++ {
+		counts := make([]int, buckets)
+		for i := uint64(0); i < n; i++ {
+			counts[f.Index(row, i<<20)]++
+		}
+		if c := chi2(counts, n); c > chi2Bound(buckets-1) {
+			t.Errorf("row %d: chi2 = %.1f > %.1f on strided keys", row, c, chi2Bound(buckets-1))
+		}
+	}
+}
+
+// TestSeedIndependence checks that two differently seeded hash functions
+// behave as independent draws: the fraction of keys mapping to the same
+// bucket under both must sit at 1/buckets within a 5-sigma binomial band.
+// Correlated seeds would make every MinMaxSketch row (and every message's
+// derived hash family) collide on the same keys, silently voiding the
+// multi-row error bound.
+func TestSeedIndependence(t *testing.T) {
+	const buckets = 64
+	const n = 64000
+	p := 1.0 / buckets
+	sigma := math.Sqrt(n * p * (1 - p))
+	band := 5 * sigma
+
+	t.Run("Mix64", func(t *testing.T) {
+		for _, seeds := range [][2]uint64{{1, 2}, {0, math.MaxUint64}, {42, 43}} {
+			matches := 0
+			for i := uint64(0); i < n; i++ {
+				if Mix64(i, seeds[0])%buckets == Mix64(i, seeds[1])%buckets {
+					matches++
+				}
+			}
+			if d := math.Abs(float64(matches) - n*p); d > band {
+				t.Errorf("seeds %v: %d matches, want %0.f±%.0f", seeds, matches, n*p, band)
+			}
+		}
+	})
+
+	t.Run("Family", func(t *testing.T) {
+		a := NewFamily(1, buckets, 1001)
+		b := NewFamily(1, buckets, 1002)
+		matches := 0
+		for i := uint64(0); i < n; i++ {
+			if a.Index(0, i) == b.Index(0, i) {
+				matches++
+			}
+		}
+		if d := math.Abs(float64(matches) - n*p); d > band {
+			t.Errorf("%d matches between families, want %0.f±%.0f", matches, n*p, band)
+		}
+	})
+}

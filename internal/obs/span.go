@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed span in the trace ring: a named wall-clock
+// interval, with Start relative to the registry's creation so traces are
+// stable across process restarts and JSON-friendly.
+type SpanRecord struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"` // offset from registry creation
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// spanRing is a bounded overwrite-oldest buffer of completed spans. A
+// mutex (not atomics) guards it: spans close at per-round granularity, so
+// contention is negligible and the invariant (idx, dropped, slot contents
+// move together) stays trivially correct.
+type spanRing struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    int   // slot for the next record
+	total   int64 // records ever written
+	dropped int64 // records overwritten
+}
+
+func (r *spanRing) record(rec SpanRecord) {
+	r.mu.Lock()
+	if r.total >= int64(len(r.buf)) {
+		r.dropped++
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained spans in chronological order plus the
+// overwritten count.
+func (r *spanRing) snapshot() ([]SpanRecord, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total == 0 {
+		return nil, 0
+	}
+	n := int(r.total)
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]SpanRecord, 0, n)
+	start := 0
+	if r.total > int64(len(r.buf)) {
+		start = r.next // oldest surviving record
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out, r.dropped
+}
+
+// Span is an in-flight traced interval. The zero Span (from a nil
+// registry) is inert: Start and End cost a nil check each and never touch
+// a clock. Span is a value type so starting one allocates nothing.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a named span. On a nil registry it returns the inert
+// zero Span.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{reg: r, name: name, start: time.Now()}
+}
+
+// End closes the span: the record lands in the trace ring and the duration
+// feeds the "span.<name>" latency histogram, so every traced stage gets a
+// distribution for free. End on the zero Span is a no-op. It returns the
+// span's duration (0 when inert) so callers can fold it into their own
+// accounting without a second clock read.
+func (s Span) End() time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.spans.record(SpanRecord{
+		Name:    s.name,
+		StartNs: s.start.Sub(s.reg.start).Nanoseconds(),
+		DurNs:   d.Nanoseconds(),
+	})
+	s.reg.Histogram("span." + s.name).Observe(d.Nanoseconds())
+	return d
+}

@@ -1,0 +1,155 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// quantileDistributions is the property-test input matrix: the shapes the
+// paper's gradients actually take (near-zero-concentrated, heavy-tailed)
+// plus the degenerate constant stream that breaks naive split logic.
+func quantileDistributions() map[string]func(*rand.Rand) float64 {
+	return map[string]func(*rand.Rand) float64{
+		"uniform":  func(r *rand.Rand) float64 { return r.Float64() },
+		"gaussian": func(r *rand.Rand) float64 { return r.NormFloat64() },
+		// Pareto with α=1.2: infinite variance, the adversarial case for
+		// equal-population splits.
+		"heavy-tailed": func(r *rand.Rand) float64 { return math.Pow(1-r.Float64(), -1/1.2) },
+		"constant":     func(r *rand.Rand) float64 { return 3.25 },
+	}
+}
+
+// querier is the query surface shared by GK and KLL.
+type querier interface{ MustQuery(phi float64) float64 }
+
+// checkRankBound verifies every queried quantile lands within maxErr ranks
+// of its target, tolerating ties (a repeated value occupies a rank range).
+func checkRankBound(t *testing.T, s querier, sorted []float64, maxErr float64) {
+	t.Helper()
+	n := float64(len(sorted))
+	for _, phi := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := s.MustQuery(phi)
+		r := float64(trueRank(sorted, got))
+		target := math.Ceil(phi * n)
+		if phi == 0 {
+			target = 1
+		}
+		if math.Abs(r-target) > maxErr+1 {
+			lo := float64(sort.SearchFloat64s(sorted, got)) + 1
+			if target >= lo && target <= r {
+				continue // inside the tie range
+			}
+			t.Errorf("phi=%.2f: value %v has rank %v, want within %v of %v",
+				phi, got, r, maxErr, target)
+		}
+	}
+}
+
+// TestRankErrorBoundAcrossDistributions is the ε-contract property test:
+// for every distribution and several seeds, both quantile sketches must
+// answer every rank query within ε·N of truth — the exact guarantee
+// SketchML's bucket quantification is built on (GK: ε = 1/m by
+// construction; KLL with k=256 is held to the 2% bound the paper's
+// DataSketches baseline achieves).
+func TestRankErrorBoundAcrossDistributions(t *testing.T) {
+	const n = 20000
+	for name, gen := range quantileDistributions() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				gk := NewWithSize(128)
+				kll := NewKLL(256, seed)
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = gen(rng)
+					gk.Insert(xs[i])
+					kll.Insert(xs[i])
+				}
+				sort.Float64s(xs)
+				checkRankBound(t, gk, xs, gk.Epsilon()*n)
+				checkRankBound(t, kll, xs, 0.02*n)
+			}
+		})
+	}
+}
+
+// TestMergeEquivalenceSplitStreams pins Section 2.3's merge operation: a
+// sketch merged from two sketches over a split stream must answer within
+// the combined bound (ε_A+ε_B for GK) of the true ranks of the
+// concatenation — i.e. merging is equivalent, up to the advertised ε, to
+// having sketched the whole stream in one pass. The 40/60 split and
+// per-half distributions differ so the merge cannot cheat by symmetry.
+func TestMergeEquivalenceSplitStreams(t *testing.T) {
+	const n = 30000
+	for name, gen := range quantileDistributions() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = gen(rng)
+				if i >= n*2/5 {
+					xs[i] *= 0.5 // second shard sees a shifted distribution
+				}
+			}
+			cut := n * 2 / 5
+
+			gkA, gkB, gkOne := NewWithSize(128), NewWithSize(128), NewWithSize(128)
+			kllA, kllB, kllOne := NewKLL(256, 21), NewKLL(256, 22), NewKLL(256, 23)
+			for i, v := range xs {
+				if i < cut {
+					gkA.Insert(v)
+					kllA.Insert(v)
+				} else {
+					gkB.Insert(v)
+					kllB.Insert(v)
+				}
+				gkOne.Insert(v)
+				kllOne.Insert(v)
+			}
+			gkA.Merge(gkB)
+			kllA.Merge(kllB)
+			if gkA.Count() != n || kllA.Count() != n {
+				t.Fatalf("merged counts %d/%d, want %d", gkA.Count(), kllA.Count(), n)
+			}
+
+			sort.Float64s(xs)
+			// Single-pass sketches hold their own ε; the merged ones the
+			// combined bound.
+			checkRankBound(t, gkOne, xs, gkOne.Epsilon()*n)
+			checkRankBound(t, gkA, xs, (1.0/128+1.0/128)*n)
+			checkRankBound(t, kllOne, xs, 0.02*n)
+			checkRankBound(t, kllA, xs, 0.04*n)
+		})
+	}
+}
+
+// TestPrunePreservesGuarantee forces heavy pruning — a long stream plus a
+// chain of merges, each of which compresses the summary back under its
+// size bound — and checks the ε rank guarantee and the space bound both
+// survive. A prune that dropped the wrong tuples would show up here as a
+// rank excursion beyond the combined ε.
+func TestPrunePreservesGuarantee(t *testing.T) {
+	const shard = 25000
+	rng := rand.New(rand.NewSource(31))
+	merged := NewWithSize(128)
+	var xs []float64
+	for s := 0; s < 4; s++ { // 3 merges on top of 100k inserts
+		part := NewWithSize(128)
+		for i := 0; i < shard; i++ {
+			v := rng.NormFloat64() * math.Pow(10, float64(s-2)) // scales differ per shard
+			part.Insert(v)
+			xs = append(xs, v)
+		}
+		merged.Merge(part)
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	// Each merge adds the operand's ε: 4 shards at 1/128 each.
+	checkRankBound(t, merged, xs, 4.0/128*n)
+	// Prune must keep the summary near its O((1/ε)·log(εn)) footprint.
+	if size := merged.SummarySize(); size > 6000 {
+		t.Errorf("summary size %d after merges, prune is not compressing", size)
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramConstructorClamps pins the defensive clamps table-style:
+// degenerate shapes must construct a usable histogram, never panic.
+func TestHistogramConstructorClamps(t *testing.T) {
+	cases := []struct {
+		name       string
+		min, max   float64
+		bins       int
+		wantBins   int
+		wantMinMax [2]float64
+	}{
+		{"zero_bins", 0, 1, 0, 1, [2]float64{0, 1}},
+		{"negative_bins", 0, 1, -5, 1, [2]float64{0, 1}},
+		{"swapped_bounds", 5, -5, 4, 4, [2]float64{-5, 5}},
+		{"point_range", 2, 2, 3, 3, [2]float64{2, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.min, tc.max, tc.bins)
+			if len(h.Counts) != tc.wantBins {
+				t.Errorf("bins = %d, want %d", len(h.Counts), tc.wantBins)
+			}
+			if h.Min != tc.wantMinMax[0] || h.Max != tc.wantMinMax[1] {
+				t.Errorf("range [%v, %v], want %v", h.Min, h.Max, tc.wantMinMax)
+			}
+			h.Add(tc.min) // must not panic on any shape
+		})
+	}
+}
+
+// TestHistogramRenderEdgeCases covers the rendering branches: the width
+// clamp, the empty histogram (no division by a zero max), and the
+// out-of-range footer.
+func TestHistogramRenderEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		fill     func(h *Histogram)
+		width    int
+		contains []string
+		excludes []string
+	}{
+		{
+			name:     "empty_histogram_zero_width",
+			fill:     func(h *Histogram) {},
+			width:    0, // clamped to the default 40
+			contains: []string{"| 0"},
+			excludes: []string{"out of range"},
+		},
+		{
+			name:     "bars_scale_to_max",
+			fill:     func(h *Histogram) { h.AddAll([]float64{0.1, 0.1, 0.1, 0.9}) },
+			width:    10,
+			contains: []string{"##########", "| 3", "| 1"},
+		},
+		{
+			name:     "out_of_range_footer",
+			fill:     func(h *Histogram) { h.Add(-7); h.Add(42); h.Add(0.5) },
+			width:    10,
+			contains: []string{"(out of range: 1 below, 1 above)"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(0, 1, 4)
+			tc.fill(h)
+			out := h.Render(tc.width)
+			for _, want := range tc.contains {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			for _, bad := range tc.excludes {
+				if strings.Contains(out, bad) {
+					t.Errorf("output has unexpected %q:\n%s", bad, out)
+				}
+			}
+		})
+	}
+}
+
+// TestPlotClampsAndEmpty covers Plot's dimension clamps and no-data path.
+func TestPlotClampsAndEmpty(t *testing.T) {
+	if got := Plot(nil, 100, 20); got != "(no data)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+	s := []Series{{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}}}
+	// Tiny requested dimensions are clamped to the 10x4 minimum, so the
+	// output must still contain a drawable frame.
+	out := Plot(s, 1, 1)
+	if lines := strings.Count(out, "\n"); lines < 4 {
+		t.Errorf("clamped plot has %d lines:\n%s", lines, out)
+	}
+}

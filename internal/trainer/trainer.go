@@ -25,6 +25,7 @@ import (
 	"sketchml/internal/dataset"
 	"sketchml/internal/gradient"
 	"sketchml/internal/model"
+	"sketchml/internal/obs"
 	"sketchml/internal/optim"
 )
 
@@ -102,6 +103,16 @@ type Config struct {
 	// each way per round, approximately a round range). Simulates a
 	// disconnect followed by a rejoin. Ignored when Chaos is nil.
 	ChaosOutage map[int]cluster.OutageWindow
+
+	// Metrics, when non-nil, receives the run's observability stream:
+	// per-round gather/broadcast latency histograms, cluster traffic
+	// counters aggregated across links, robustness tallies, and per-epoch
+	// trace spans. It also enables the continuous sketch-error measurement
+	// (Result.SketchError): each round the driver decodes its own broadcast
+	// and compares it against the exact aggregate. Pass the same registry
+	// to the codec (codec.Options.Metrics) to get one coherent snapshot.
+	// nil disables everything at negligible cost.
+	Metrics *obs.Registry
 }
 
 // EpochStats reports one epoch of a run.
@@ -114,10 +125,22 @@ type EpochStats struct {
 	Rounds    int
 	UpBytes   int64 // worker→driver traffic
 	DownBytes int64 // driver→worker traffic per worker (total/W)
+	// RawUpBytes/RawDownBytes are the same traffic priced at the
+	// uncompressed baseline (raw float64 key–values in the frame
+	// envelope); UpBytes/RawUpBytes is the epoch's end-to-end compression
+	// ratio. RawDownBytes is per worker, like DownBytes.
+	RawUpBytes   int64
+	RawDownBytes int64
 
 	ComputeTime time.Duration // summed worker gradient computation
 	EncodeTime  time.Duration // summed compression CPU (all parties)
 	DecodeTime  time.Duration // summed decompression CPU (all parties)
+	// GatherTime and BroadcastTime are driver-side wall clocks that
+	// partition each round (gather+aggregate, then encode+send+apply), so
+	// their sum never exceeds WallTime — unlike the summed-across-parties
+	// CPU meters above, which can.
+	GatherTime    time.Duration
+	BroadcastTime time.Duration
 
 	// SimTime estimates the epoch's wall time on the configured cluster:
 	// parallel compute + driver serial codec work + modeled network time.
@@ -161,6 +184,11 @@ type Result struct {
 	WorkerCorruptFrames int64 // frames workers could not parse or decode
 	LostReports         int   // end-of-run reports that never arrived
 	WorkerFailures      int   // workers that exited with an error
+
+	// SketchError is the continuously measured recovery error of the
+	// broadcast aggregates (exact vs. decoded, every round). Non-nil only
+	// when Config.Metrics enabled the measurement.
+	SketchError *obs.ErrorSummary
 }
 
 // AvgEpochSimTime returns the mean simulated epoch time.
@@ -322,7 +350,10 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	// Wire the links. wrap applies the (optional) fault-injection layer and
 	// the traffic counter to the driver's end of worker w's link. Each
 	// link's chaos schedule derives from Chaos.Seed and the worker index so
-	// a run's fault pattern is reproducible end to end.
+	// a run's fault pattern is reproducible end to end. All links share one
+	// ConnMetrics set, so the registry's cluster.* counters aggregate the
+	// run's whole driver-side traffic.
+	connMet := cluster.NewConnMetrics(cfg.Metrics)
 	wrap := func(w int, inner cluster.Conn) *cluster.CountingConn {
 		if cfg.Chaos != nil {
 			spec := *cfg.Chaos
@@ -330,7 +361,7 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			spec.Outage = cfg.ChaosOutage[w]
 			inner = cluster.NewChaos(inner, spec)
 		}
-		return cluster.NewCounting(inner)
+		return cluster.NewCountingObserved(inner, connMet)
 	}
 	driverSide := make([]*cluster.CountingConn, cfg.Workers)
 	workerSide := make([]cluster.Conn, cfg.Workers)
@@ -378,7 +409,7 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			}
 		}
 		for w := 0; w < cfg.Workers; w++ {
-			c, err := cluster.Dial(l.Addr())
+			c, err := cluster.DialObserved(l.Addr(), cfg.Metrics.Counter("cluster.dial_retries"))
 			if err != nil {
 				cleanup()
 				return nil, err
@@ -439,6 +470,8 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	var cumSimSeconds float64
 	var prevUp, prevDown int64
 	driverCodecTime := make([]time.Duration, 0, cfg.Epochs)
+	tm := newTrainerMetrics(cfg.Metrics)
+	var errAcc errAccum
 	// strikes[w] counts worker w's consecutive missed rounds (tolerant mode
 	// only); any round with its gradient present resets it.
 	strikes := make([]int, cfg.Workers)
@@ -448,6 +481,7 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		es.Epoch = epoch
 		es.Rounds = roundsPerEpoch
 		epochStart := time.Now()
+		spEpoch := cfg.Metrics.StartSpan("epoch")
 		var driverDecode, driverEncode time.Duration
 
 		for round := 0; round < roundsPerEpoch; round++ {
@@ -459,17 +493,22 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			// the serial path, so it sums the per-goroutine decode durations
 			// rather than wall time.
 			globalRound := epoch*roundsPerEpoch + round
+			tGather := time.Now()
 			if err := gatherRound(cfg, globalRound, driverSide, strikes, acc, &es, &driverDecode); err != nil {
 				return nil, err
 			}
 			agg := acc.Sum()
+			gatherDur := time.Since(tGather)
+			es.GatherTime += gatherDur
+			tm.gatherNs.Observe(gatherDur.Nanoseconds())
 
 			// Broadcast the aggregate, round-tagged. Every worker gets the
 			// broadcast — including ones that just missed the round — because
 			// the round tag is how a lagging worker discovers where the
 			// driver is and rejoins. In tolerant mode a dead link must not
 			// kill the round (the strike ledger handles persistent absence).
-			t0 := time.Now()
+			tBcast := time.Now()
+			t0 := tBcast
 			msg, err := cfg.Codec.Encode(agg)
 			driverEncode += time.Since(t0)
 			if err != nil {
@@ -493,9 +532,18 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			if cfg.Metrics != nil {
+				// The decoded broadcast vs. the exact aggregate is the
+				// approximation error every replica actually applies.
+				errAcc.observe(agg, applied)
+			}
 			if err := opt.Step(theta, applied); err != nil {
 				return nil, err
 			}
+			es.RawDownBytes += rawWireBytes(agg)
+			bcastDur := time.Since(tBcast)
+			es.BroadcastTime += bcastDur
+			tm.broadcastNs.Observe(bcastDur.Nanoseconds())
 		}
 
 		// Epoch boundary: collect traffic deltas.
@@ -508,10 +556,12 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		es.UpBytes = up - prevUp
 		es.DownBytes = (down - prevDown) / int64(cfg.Workers)
 		prevUp, prevDown = up, down
+		spEpoch.End()
 		es.WallTime = time.Since(epochStart)
 		es.EncodeTime = driverEncode
 		es.DecodeTime = driverDecode
 		driverCodecTime = append(driverCodecTime, driverEncode+driverDecode)
+		tm.foldEpoch(&es)
 
 		// Evaluation (excluded from epoch timing, as the paper excludes
 		// non-training phases).
@@ -586,6 +636,7 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	last := res.Epochs[nEpochs-1]
 	res.FinalLoss = last.TestLoss
 	res.FinalAccuracy = last.Accuracy
+	res.SketchError = errAcc.summary()
 	return res, nil
 }
 
@@ -700,6 +751,7 @@ func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, stri
 		es.StaleFrames += outs[w].stale
 		if outs[w].g != nil {
 			arrived++
+			es.RawUpBytes += rawWireBytes(outs[w].g)
 		}
 	}
 	if !cfg.tolerant() {

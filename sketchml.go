@@ -36,6 +36,7 @@ import (
 	"sketchml/internal/experiments"
 	"sketchml/internal/gradient"
 	"sketchml/internal/model"
+	"sketchml/internal/obs"
 	"sketchml/internal/optim"
 	"sketchml/internal/trainer"
 )
@@ -217,6 +218,37 @@ type FactorizationMachine = model.FM
 // NewAdaGrad returns the AdaGrad optimizer (Duchi et al.), the other
 // adaptive method of the paper's related work.
 func NewAdaGrad(lr float64, dim uint64) Optimizer { return optim.NewAdaGrad(lr, dim) }
+
+// Metrics is the run-wide observability registry: atomic counters, gauges,
+// log-spaced latency histograms, and a bounded span trace, exportable as
+// one JSON snapshot. Pass the same registry to Options.Metrics and
+// TrainConfig.Metrics for a coherent cross-layer view; a nil registry
+// disables everything at negligible cost.
+type Metrics = obs.Registry
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// RunReport is the validated JSON document summarizing one training run:
+// per-epoch wire bytes and compression ratio against the raw float64
+// baseline, per-stage time breakdown, measured sketch recovery error, and
+// the full metrics snapshot.
+type RunReport = obs.RunReport
+
+// SketchErrorSummary is the continuously measured sketch recovery error of
+// a run (see TrainResult.SketchError).
+type SketchErrorSummary = obs.ErrorSummary
+
+// BuildRunReport assembles a validated RunReport from a finished training
+// run. m may be nil; pass the registry the run recorded into to embed and
+// cross-check its snapshot.
+func BuildRunReport(tool string, res *TrainResult, m *Metrics) (*RunReport, error) {
+	return trainer.BuildRunReport(tool, res, m)
+}
+
+// ReadRunReport loads and validates a run report written by
+// RunReport.WriteFile (or `sketchml -metrics-out`).
+func ReadRunReport(path string) (*RunReport, error) { return obs.ReadReportFile(path) }
 
 // TrainSSP executes training under the Stale Synchronous Parallel protocol
 // (Ho et al., the paper's citation [19]): workers may run ahead of the
