@@ -31,6 +31,12 @@ BENCH_COMPARE_FLAGS ?=
 # Fault seed for the race-matrix chaos point; the default chaos-soak run
 # uses the test's built-in seed, so the matrix exercises a second schedule.
 CHAOS_MATRIX_SEED ?= 7
+# sketchlint inputs: the committed suppression baseline (accepted findings
+# with documented reasons; stale entries fail the run) and the summary
+# cache that keeps warm runs fast (machine-local, gitignored, safe to
+# delete).
+LINT_BASELINE ?= lint.baseline.json
+LINT_CACHE    ?= .sketchlint-cache.json
 
 # Native fuzz targets, as "package:Target" pairs. Go's fuzzer runs one
 # target per invocation, so the fuzz rule loops.
@@ -39,7 +45,7 @@ FUZZ_TARGETS := \
 	./internal/keycoding:FuzzDeltaRoundTrip \
 	./internal/keycoding:FuzzDecodeDeltaRobust
 
-.PHONY: all build fmt vet lint test race race-matrix chaos-soak fuzz fuzz-smoke bench bench-check verify clean
+.PHONY: all build fmt vet lint lint-stats test race race-matrix chaos-soak fuzz fuzz-smoke bench bench-check verify clean
 
 all: verify
 
@@ -60,7 +66,13 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/sketchlint ./...
+	$(GO) run ./cmd/sketchlint -baseline $(LINT_BASELINE) -summary-cache $(LINT_CACHE) ./...
+
+# lint-stats is the same gate as `lint`, just louder: a per-analyzer table
+# of finding counts and wall times, plus summary-build time and cache
+# hit/miss counts, so analyzer cost regressions are visible in review.
+lint-stats:
+	$(GO) run ./cmd/sketchlint -baseline $(LINT_BASELINE) -summary-cache $(LINT_CACHE) -stats ./...
 
 test:
 	$(GO) test ./...

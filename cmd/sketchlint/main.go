@@ -1,28 +1,40 @@
 // Command sketchlint runs the project's static-analysis suite
-// (internal/lint) over the module: ten analyzers encoding SketchML's
+// (internal/lint) over the module: fourteen analyzers encoding SketchML's
 // correctness invariants — the v1 serialization/determinism checks
 // (unseeded-hash, float-equality, unchecked-error, wire-endianness,
-// panic-in-library) and the v2 concurrency/wire-safety checks
-// (pool-escape, lock-held-io, goroutine-join, waitgroup-misuse,
-// unbounded-wire-alloc). See DESIGN.md ("Verification & static
+// panic-in-library), the v2 concurrency/wire-safety checks (pool-escape,
+// lock-held-io, goroutine-join, waitgroup-misuse, unbounded-wire-alloc),
+// and the v3 interprocedural checks built on the module summary table
+// (wire-taint, hotpath-alloc, wire-determinism, atomic-mix). See
+// DESIGN.md ("Verification & static analysis" and "Interprocedural
 // analysis") for what each one enforces and why.
 //
 // Usage:
 //
-//	sketchlint [-list] [-json] [-github] [-changed ref] [./... | dir ...]
+//	sketchlint [flags] [./... | dir ...]
 //
 // With no arguments (or "./...") every package in the module is checked.
 // Individual directories may be named instead. Exit status is 1 when any
-// finding is reported, 2 on a load or usage error.
+// unbaselined finding is reported (or, on full-module runs, when the
+// baseline has stale entries), 2 on a load or usage error.
 //
-// Output modes:
+// Flags:
 //
-//	-json     emit findings as a JSON array (machine-readable, for CI)
-//	-github   additionally emit ::error workflow annotations so findings
-//	          surface inline on pull-request diffs
-//	-changed  analyze only packages containing files changed relative to
-//	          the given git ref (e.g. -changed origin/main); falls back
-//	          to the full module when git is unavailable
+//	-json            emit a JSON report object (findings, per-analyzer
+//	                 timings, cache statistics)
+//	-github          additionally emit ::error workflow annotations so
+//	                 findings surface inline on pull-request diffs
+//	-changed ref     analyze only packages containing files changed
+//	                 relative to the given git ref; falls back to the
+//	                 full module when git cannot answer, and says why
+//	-baseline file   committed suppression file; findings matching an
+//	                 entry are reported as baselined, not failures, and
+//	                 entries matching nothing fail full-module runs
+//	-write-baseline  regenerate the -baseline file from current findings
+//	                 (existing entries keep their documented reasons)
+//	-summary-cache f persist interprocedural summaries between runs,
+//	                 keyed by package content hash
+//	-stats           print per-analyzer findings/timings and cache stats
 //
 // Findings can be suppressed — sparingly, with a justification — by a
 // comment on the offending line or the line above:
@@ -38,17 +50,24 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"sketchml/internal/lint"
 )
 
 func main() {
+	var opts options
 	list := flag.Bool("list", false, "list analyzers and exit")
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	github := flag.Bool("github", false, "also emit GitHub ::error workflow annotations")
-	changed := flag.String("changed", "", "analyze only packages changed relative to this git ref")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit a JSON report object")
+	flag.BoolVar(&opts.github, "github", false, "also emit GitHub ::error workflow annotations")
+	flag.StringVar(&opts.changedRef, "changed", "", "analyze only packages changed relative to this git ref")
+	flag.StringVar(&opts.baselinePath, "baseline", "", "baseline/suppression file (committed accepted findings)")
+	flag.BoolVar(&opts.writeBaseline, "write-baseline", false, "regenerate the -baseline file from current findings")
+	flag.StringVar(&opts.cachePath, "summary-cache", "", "summary cache file (content-hash keyed)")
+	flag.BoolVar(&opts.stats, "stats", false, "print per-analyzer timing and cache statistics")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sketchlint [-list] [-json] [-github] [-changed ref] [./... | dir ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: sketchlint [-list] [-json] [-github] [-changed ref] "+
+			"[-baseline file [-write-baseline]] [-summary-cache file] [-stats] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,10 +78,24 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Args(), *jsonOut, *github, *changed); err != nil {
+	if opts.writeBaseline && opts.baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "sketchlint: -write-baseline requires -baseline")
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sketchlint:", err)
 		os.Exit(2)
 	}
+}
+
+type options struct {
+	jsonOut       bool
+	github        bool
+	changedRef    string
+	baselinePath  string
+	writeBaseline bool
+	cachePath     string
+	stats         bool
 }
 
 // finding is the JSON shape of one diagnostic. Paths are module-root
@@ -75,7 +108,25 @@ type finding struct {
 	Message  string `json:"message"`
 }
 
-func run(args []string, jsonOut, github bool, changedRef string) error {
+// report is the -json output shape.
+type report struct {
+	Findings  []finding            `json:"findings"`
+	Baselined []finding            `json:"baselined,omitempty"`
+	Stale     []lint.BaselineEntry `json:"stale_baseline,omitempty"`
+	Analyzers []lint.AnalyzerStats `json:"analyzers"`
+	Cache     cacheStats           `json:"summary_cache"`
+	// Fallback is the reason -changed fell back to the full module, or
+	// empty when it did not.
+	Fallback string `json:"fallback,omitempty"`
+}
+
+type cacheStats struct {
+	Hits   int   `json:"hits"`
+	Misses int   `json:"misses"`
+	Millis int64 `json:"millis"`
+}
+
+func run(args []string, opts options) error {
 	root, err := findModuleRoot()
 	if err != nil {
 		return err
@@ -85,26 +136,41 @@ func run(args []string, jsonOut, github bool, changedRef string) error {
 		return err
 	}
 
-	if changedRef != "" {
+	fullModule := true
+	var fallbackReason string
+	if opts.changedRef != "" {
 		if len(args) > 0 {
 			return fmt.Errorf("-changed cannot be combined with package arguments")
 		}
-		dirs, ok := changedDirs(root, changedRef)
+		dirs, reason, ok := changedDirs(root, opts.changedRef)
 		if ok && len(dirs) == 0 {
 			// No Go files changed: vacuously clean.
-			if jsonOut {
-				fmt.Println("[]")
+			if opts.jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(report{Findings: []finding{}})
 			}
 			return nil
 		}
 		if ok {
 			args = dirs
+			fullModule = false
+		} else {
+			// Git missing or the ref unknown: fall back to the full
+			// module — diff-awareness is an optimization, never a skip —
+			// and carry the reason into the output so CI logs show why
+			// the run got slower.
+			fallbackReason = reason
+			fmt.Fprintf(os.Stderr, "sketchlint: %s; analyzing the full module\n", reason)
 		}
-		// !ok (git missing or the ref unknown) falls through to the full
-		// module — diff-awareness is an optimization, never a skip.
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		if arg != "./..." && arg != "..." {
+			fullModule = false
+		}
 	}
 
 	var pkgs []*lint.Package
@@ -122,35 +188,74 @@ func run(args []string, jsonOut, github bool, changedRef string) error {
 		}
 	}
 
-	diags := lint.Run(loader.Fset(), pkgs, lint.All())
-	findings := make([]finding, 0, len(diags))
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = filepath.ToSlash(rel)
-		}
-		findings = append(findings, finding{
-			File:     name,
-			Line:     d.Pos.Line,
-			Column:   d.Pos.Column,
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
-		})
+	// Summaries cover everything the loader pulled in — the analyzed
+	// packages plus, on partial runs, their unchanged module-internal
+	// dependencies — so interprocedural facts stay as precise as a
+	// full-module run.
+	sumPkgs := loader.Loaded()
+
+	cache := lint.OpenSummaryCache(opts.cachePath)
+	cacheStart := time.Now()
+	cached := cache.Valid(sumPkgs)
+	cacheMillis := time.Since(cacheStart).Milliseconds()
+
+	diags, stats := lint.RunWithStats(loader.Fset(), pkgs, lint.All(), lint.RunOptions{
+		CachedSummaries: cached,
+		SummaryPackages: sumPkgs,
+	})
+	cache.Update(stats.Mod, sumPkgs, stats.FreshPackages)
+	if err := cache.Save(); err != nil {
+		fmt.Fprintf(os.Stderr, "sketchlint: saving summary cache: %v\n", err)
 	}
 
-	if jsonOut {
+	baseline, err := lint.LoadBaseline(opts.baselinePath)
+	if err != nil {
+		return err
+	}
+	if opts.writeBaseline {
+		n, err := lint.WriteBaseline(opts.baselinePath, root, diags, baseline)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sketchlint: wrote %d entries to %s\n", n, opts.baselinePath)
+		return nil
+	}
+	active, baselined, stale := baseline.Filter(root, diags)
+	if !fullModule {
+		// A partial run sees a subset of findings, so absence proves
+		// nothing about the rest of the baseline.
+		stale = nil
+	}
+
+	rep := report{
+		Findings:  toFindings(root, active),
+		Baselined: toFindings(root, baselined),
+		Stale:     stale,
+		Analyzers: stats.Analyzers,
+		Cache:     cacheStats{Hits: cache.Hits, Misses: cache.Misses, Millis: cacheMillis + stats.SummaryMillis},
+		Fallback:  fallbackReason,
+	}
+
+	if opts.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			return err
 		}
 	} else {
-		for _, f := range findings {
+		for _, f := range rep.Findings {
 			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
 		}
+		for _, e := range rep.Stale {
+			fmt.Printf("%s: stale baseline entry for %s: %q matches no finding; remove it\n",
+				e.File, e.Analyzer, e.Message)
+		}
 	}
-	if github {
-		for _, f := range findings {
+	if opts.stats {
+		printStats(rep)
+	}
+	if opts.github {
+		for _, f := range rep.Findings {
 			// https://docs.github.com/actions/reference/workflow-commands:
 			// the message must be single-line; commas and colons in the
 			// properties would break parsing but file paths contain neither.
@@ -158,27 +263,66 @@ func run(args []string, jsonOut, github bool, changedRef string) error {
 			fmt.Printf("::error file=%s,line=%d,col=%d,title=sketchlint %s::%s\n",
 				f.File, f.Line, f.Column, f.Analyzer, msg)
 		}
+		for _, e := range rep.Stale {
+			fmt.Printf("::error file=%s,title=sketchlint stale baseline::baseline entry for %s matches no finding; remove it\n",
+				e.File, e.Analyzer)
+		}
 	}
-	if len(findings) > 0 {
+	if len(rep.Findings) > 0 || len(rep.Stale) > 0 {
 		os.Exit(1)
 	}
 	return nil
 }
 
+func toFindings(root string, diags []lint.Diagnostic) []finding {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			File:     lint.RelPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// printStats renders the per-analyzer table `make lint-stats` shows.
+func printStats(rep report) {
+	w := os.Stderr
+	fmt.Fprintf(w, "%-22s %9s %9s\n", "analyzer", "findings", "millis")
+	var totalFindings int
+	var totalMillis int64
+	for _, a := range rep.Analyzers {
+		fmt.Fprintf(w, "%-22s %9d %9d\n", a.Name, a.Findings, a.Millis)
+		totalFindings += a.Findings
+		totalMillis += a.Millis
+	}
+	fmt.Fprintf(w, "%-22s %9d %9d\n", "total", totalFindings, totalMillis)
+	fmt.Fprintf(w, "summary cache: %d hits, %d misses, %d ms (build+hash)\n",
+		rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Millis)
+	if n := len(rep.Baselined); n > 0 {
+		fmt.Fprintf(w, "baselined findings: %d\n", n)
+	}
+}
+
 // changedDirs asks git which .go files differ from ref (committed or not)
-// and maps them to their package directories relative to root. The second
-// result is false when git cannot answer, in which case the caller should
-// analyze the whole module.
-func changedDirs(root, ref string) ([]string, bool) {
+// and maps them to their package directories relative to root. ok is false
+// when git cannot answer — reason then says why, so the caller can surface
+// it — and the caller analyzes the whole module.
+func changedDirs(root, ref string) (dirs []string, reason string, ok bool) {
 	cmd := exec.Command("git", "diff", "--name-only", ref, "--", "*.go")
 	cmd.Dir = root
 	out, err := cmd.Output()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sketchlint: git diff %s failed (%v); analyzing the full module\n", ref, err)
-		return nil, false
+		detail := strings.TrimSpace(errDetail(err))
+		if detail != "" {
+			return nil, fmt.Sprintf("git diff %s failed: %s", ref, detail), false
+		}
+		return nil, fmt.Sprintf("git diff %s failed: %v", ref, err), false
 	}
 	seen := make(map[string]bool)
-	var dirs []string
 	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
 		if line == "" || !strings.HasSuffix(line, ".go") {
 			continue
@@ -199,7 +343,19 @@ func changedDirs(root, ref string) ([]string, bool) {
 			dirs = append(dirs, abs)
 		}
 	}
-	return dirs, true
+	return dirs, "", true
+}
+
+// errDetail extracts git's stderr from an exec error, first line only.
+func errDetail(err error) string {
+	if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+		msg := string(ee.Stderr)
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i]
+		}
+		return msg
+	}
+	return ""
 }
 
 // load resolves one command-line argument to packages: "./..." (or the

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot resolves the module root from the test's working directory
+// (cmd/sketchlint).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func gitAvailable(root string) bool {
+	cmd := exec.Command("git", "rev-parse", "HEAD")
+	cmd.Dir = root
+	return cmd.Run() == nil
+}
+
+// TestChangedDirsBadRef pins the fallback contract: an unresolvable ref
+// must not silently analyze nothing — it reports ok=false with a reason
+// that names the ref, and the caller widens to the full module.
+func TestChangedDirsBadRef(t *testing.T) {
+	root := repoRoot(t)
+	if !gitAvailable(root) {
+		t.Skip("git unavailable")
+	}
+	dirs, reason, ok := changedDirs(root, "no-such-ref-sketchlint-test")
+	if ok {
+		t.Fatalf("changedDirs succeeded on a bad ref (dirs=%v)", dirs)
+	}
+	if reason == "" {
+		t.Fatal("fallback reason is empty; CI logs would not explain the slow run")
+	}
+	if !strings.Contains(reason, "no-such-ref-sketchlint-test") {
+		t.Errorf("fallback reason %q does not name the bad ref", reason)
+	}
+}
+
+// TestChangedDirsHead: a valid ref answers ok=true with no reason, and
+// every returned directory is inside the module.
+func TestChangedDirsHead(t *testing.T) {
+	root := repoRoot(t)
+	if !gitAvailable(root) {
+		t.Skip("git unavailable")
+	}
+	dirs, reason, ok := changedDirs(root, "HEAD")
+	if !ok {
+		t.Fatalf("changedDirs failed on HEAD: %s", reason)
+	}
+	if reason != "" {
+		t.Errorf("unexpected fallback reason on success: %q", reason)
+	}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Errorf("changed dir %s escapes module root", d)
+		}
+	}
+}

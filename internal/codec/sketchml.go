@@ -155,6 +155,8 @@ const (
 )
 
 // Encode implements Codec.
+//
+//sketchlint:hotpath
 func (c *SketchML) Encode(g *gradient.Sparse) ([]byte, error) {
 	m := c.met
 	var t0 time.Time
@@ -510,6 +512,8 @@ func decodeKeys(r *reader, delta, wide bool) ([]uint64, error) {
 }
 
 // Decode implements Codec.
+//
+//sketchlint:hotpath
 func (c *SketchML) Decode(data []byte) (*gradient.Sparse, error) {
 	m := c.met
 	var t0 time.Time
@@ -737,6 +741,7 @@ func skipPane(data []byte, delta, mm, wide bool) (int, error) {
 		return 0, err
 	}
 	off += used
+	//lint:allow wire-taint every iteration consumes >=4 bytes of data or fails with errTruncated, so the loop runs at most len(data)/4 times regardless of the header value
 	for grp := 0; grp < numGroups; grp++ {
 		if err := skipKeys(); err != nil {
 			return 0, fmt.Errorf("group %d keys: %w", grp, err)

@@ -54,6 +54,8 @@ func bytesNeeded(d uint64) int {
 // The flag region is reserved in dst up front and filled in place while the
 // delta bytes are appended behind it, so encoding allocates nothing beyond
 // dst's own growth.
+//
+//sketchlint:hotpath
 func AppendDelta(dst []byte, keys []uint64) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
 	if len(keys) == 0 {
@@ -66,6 +68,7 @@ func AppendDelta(dst []byte, keys []uint64) ([]byte, error) {
 	}
 
 	flagLen := (n*flagBits + 7) / 8
+	//lint:allow hotpath-alloc grows the caller's reusable buffer; amortized to zero once pooled dst capacity warms up
 	dst = slices.Grow(dst, flagLen+n) // flags + ≥1 body byte per delta
 	flagOff := len(dst)
 	dst = dst[:flagOff+flagLen]
@@ -157,6 +160,8 @@ func DecodeDelta(data []byte) ([]uint64, int, error) {
 // than DecodeDelta — the codec uses it to locate pane boundaries for
 // parallel decoding. It fails under the same truncation conditions as
 // DecodeDelta.
+//
+//sketchlint:hotpath
 func SkipDelta(data []byte) (count, size int, err error) {
 	if len(data) < 4 {
 		return 0, 0, errors.New("keycoding: truncated count")

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicMix flags struct fields accessed through sync/atomic free
+// functions in one place and through plain loads or stores in another —
+// the access pattern the Go memory model gives no meaning to, and the
+// guard rail the Quancurrent-style concurrent sketch will lean on. A
+// plain read racing an atomic.AddInt64 can observe a torn or stale value
+// without -race ever firing (it needs the schedule to land just so);
+// statically, the mix is simply never what anyone means.
+//
+// The atomic side is collected module-wide from the summaries, so the mix
+// is caught even when the two access modes live in different packages.
+// Constructor-shaped functions (New*/new*/init) are exempt on the plain
+// side: initializing a field before the value is shared is the documented
+// pattern. The typed atomic boxes (atomic.Int64 and friends) never
+// trigger this analyzer — their methods are the safe alternative the
+// finding should push toward.
+func AtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomic-mix",
+		Doc: "field accessed via sync/atomic in one place and plainly in " +
+			"another; the memory model gives the mix no meaning",
+	}
+	a.Run = func(pass *Pass) {
+		if !internalLibrary(pass.Path) {
+			return
+		}
+		atomicFields := pass.Mod.AtomicFields()
+		if len(atomicFields) == 0 {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || isConstructorName(fn.Name.Name) {
+					continue
+				}
+				sum := pass.Mod.Funcs[funcKey(pass.Info, fn)]
+				if sum == nil {
+					continue
+				}
+				for _, use := range sum.Plain {
+					sites, mixed := atomicFields[use.Field]
+					if !mixed {
+						continue
+					}
+					pass.ReportAt(use.Site.Position(),
+						"plain access to %s, which is accessed atomically at %s",
+						fieldShortName(use.Field), sites[0])
+				}
+			}
+		}
+	}
+	return a
+}
+
+// isConstructorName matches the constructor/initializer shapes exempt from
+// the plain-access side of the rule.
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init"
+}
+
+// fieldShortName trims the package path from a field key:
+// "sketchml/internal/obs.Counters.sent" -> "Counters.sent".
+func fieldShortName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	if i := strings.Index(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Baseline is the committed suppression file (lint.baseline.json): the
+// findings the team has looked at and accepted, so they stop failing CI
+// while anything new still does. Matching is by file, analyzer, and exact
+// message — deliberately not by line, so unrelated edits above a finding
+// do not orphan its entry. An entry that matches nothing is stale and
+// fails the run: suppressions must die with the code they excused.
+type Baseline struct {
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding. File is module-root
+// relative with forward slashes.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Reason documents why the finding is accepted rather than fixed —
+	// free text, required by convention (the stale check cannot enforce
+	// taste, but review can).
+	Reason string `json:"reason,omitempty"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so repositories without one behave as before.
+func LoadBaseline(path string) (*Baseline, error) {
+	if path == "" {
+		return &Baseline{}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Baseline{}, nil
+		}
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// RelPath converts a diagnostic filename to the baseline's root-relative
+// slash form; paths outside root pass through unchanged.
+func RelPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// Filter splits diagnostics into active (fail the run) and baselined
+// (accepted), and returns the stale entries that matched no finding. One
+// entry suppresses every diagnostic it matches.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (active, baselined []Diagnostic, stale []BaselineEntry) {
+	matched := make([]bool, len(b.Entries))
+	for _, d := range diags {
+		file := RelPath(root, d.Pos.Filename)
+		hit := false
+		for i, e := range b.Entries {
+			if e.File == file && e.Analyzer == d.Analyzer && e.Message == d.Message {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			baselined = append(baselined, d)
+		} else {
+			active = append(active, d)
+		}
+	}
+	for i, e := range b.Entries {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return active, baselined, stale
+}
+
+// WriteBaseline writes every diagnostic as an accepted entry, sorted for
+// stable diffs, and returns how many (deduplicated) entries were written.
+// Entries surviving from prev keep their documented reasons; new entries
+// get an empty one for the author to fill in — a regenerated baseline is a
+// starting point, not a finished one.
+func WriteBaseline(path, root string, diags []Diagnostic, prev *Baseline) (int, error) {
+	reasons := make(map[BaselineEntry]string)
+	if prev != nil {
+		for _, e := range prev.Entries {
+			key := e
+			key.Reason = ""
+			reasons[key] = e.Reason
+		}
+	}
+	b := Baseline{Entries: make([]BaselineEntry, 0, len(diags))}
+	seen := make(map[BaselineEntry]bool)
+	for _, d := range diags {
+		e := BaselineEntry{
+			File:     RelPath(root, d.Pos.Filename),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if !seen[e] {
+			seen[e] = true
+			e.Reason = reasons[e]
+			b.Entries = append(b.Entries, e)
+		}
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "\t")
+	if err != nil {
+		return 0, err
+	}
+	return len(b.Entries), os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func baselineDiag(root, rel, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: filepath.Join(root, filepath.FromSlash(rel)), Line: 10, Column: 3},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	root := t.TempDir()
+	b := &Baseline{Entries: []BaselineEntry{
+		{File: "internal/codec/x.go", Analyzer: "hotpath-alloc", Message: "make on hot path encode", Reason: "steady-state buffer, ROADMAP zero-alloc item"},
+		{File: "internal/cluster/y.go", Analyzer: "wire-taint", Message: "gone finding"},
+	}}
+	diags := []Diagnostic{
+		baselineDiag(root, "internal/codec/x.go", "hotpath-alloc", "make on hot path encode"),
+		baselineDiag(root, "internal/codec/x.go", "hotpath-alloc", "new finding"),
+	}
+	active, baselined, stale := b.Filter(root, diags)
+	if len(active) != 1 || active[0].Message != "new finding" {
+		t.Errorf("active = %v, want the one new finding", active)
+	}
+	if len(baselined) != 1 || baselined[0].Message != "make on hot path encode" {
+		t.Errorf("baselined = %v, want the accepted finding", baselined)
+	}
+	if len(stale) != 1 || stale[0].Message != "gone finding" {
+		t.Errorf("stale = %v, want the orphaned entry", stale)
+	}
+}
+
+// TestBaselineLineInsensitive pins the matching contract: moving a finding
+// to a different line must not orphan its baseline entry.
+func TestBaselineLineInsensitive(t *testing.T) {
+	root := t.TempDir()
+	b := &Baseline{Entries: []BaselineEntry{
+		{File: "a.go", Analyzer: "x", Message: "m"},
+	}}
+	d := baselineDiag(root, "a.go", "x", "m")
+	d.Pos.Line = 999
+	active, baselined, stale := b.Filter(root, []Diagnostic{d})
+	if len(active) != 0 || len(baselined) != 1 || len(stale) != 0 {
+		t.Errorf("filter = (%d active, %d baselined, %d stale), want (0, 1, 0)",
+			len(active), len(baselined), len(stale))
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "lint.baseline.json")
+	prev := &Baseline{Entries: []BaselineEntry{
+		{File: "a.go", Analyzer: "x", Message: "m", Reason: "documented"},
+	}}
+	diags := []Diagnostic{
+		baselineDiag(root, "a.go", "x", "m"),
+		baselineDiag(root, "b.go", "y", "n"),
+	}
+	n, err := WriteBaseline(path, root, diags, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("WriteBaseline reported %d entries, want 2", n)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("round-tripped %d entries, want 2", len(got.Entries))
+	}
+	// Sorted: a.go before b.go; the surviving entry keeps its reason.
+	if got.Entries[0].Reason != "documented" {
+		t.Errorf("surviving entry lost its reason: %+v", got.Entries[0])
+	}
+	if got.Entries[1].Reason != "" {
+		t.Errorf("new entry invented a reason: %+v", got.Entries[1])
+	}
+
+	// A missing or empty path is an empty baseline, never an error.
+	for _, p := range []string{"", filepath.Join(root, "absent.json")} {
+		b, err := LoadBaseline(p)
+		if err != nil || len(b.Entries) != 0 {
+			t.Errorf("LoadBaseline(%q) = (%v, %v), want empty baseline", p, b, err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// cacheVersion invalidates every entry whenever the summary format or the
+// extraction logic changes shape.
+const cacheVersion = 1
+
+// pkgCacheEntry is the cached state of one package: the content hash its
+// summaries were computed against, and the summaries themselves.
+type pkgCacheEntry struct {
+	Hash      string         `json:"hash"`
+	Functions []*FuncSummary `json:"functions"`
+}
+
+// SummaryCache persists interprocedural summaries between sketchlint runs,
+// keyed by a content hash that covers each package's own sources and the
+// hashes of its module-internal imports (so editing a callee invalidates
+// every dependent's entry). Load and Save are both best-effort: a missing,
+// stale, or corrupt cache file degrades to a full rebuild, never an error.
+type SummaryCache struct {
+	path    string
+	entries map[string]pkgCacheEntry // import path -> entry
+
+	hashes map[string]string // import path -> content hash (memo)
+
+	// Hits and Misses count package-level cache lookups for -stats.
+	Hits   int
+	Misses int
+}
+
+// summaryCacheFile is the on-disk shape.
+type summaryCacheFile struct {
+	Version  int                      `json:"version"`
+	Packages map[string]pkgCacheEntry `json:"packages"`
+}
+
+// OpenSummaryCache reads the cache at path. An empty path disables
+// caching (every lookup misses and Save is a no-op).
+func OpenSummaryCache(path string) *SummaryCache {
+	c := &SummaryCache{
+		path:    path,
+		entries: make(map[string]pkgCacheEntry),
+		hashes:  make(map[string]string),
+	}
+	if path == "" {
+		return c
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var file summaryCacheFile
+	if json.Unmarshal(data, &file) != nil || file.Version != cacheVersion {
+		return c
+	}
+	for k, v := range file.Packages {
+		c.entries[k] = v
+	}
+	return c
+}
+
+// Valid returns the cached summaries for every package in pkgs whose
+// content hash still matches, counting hits and misses.
+func (c *SummaryCache) Valid(pkgs []*Package) map[string][]*FuncSummary {
+	// Hash bottom-up first: import-path order is not dependency order, and
+	// a dependency hashed after its dependent would contribute an empty
+	// hash — making callee edits invisible to callers' cache entries.
+	c.RegisterAll(pkgs)
+	out := make(map[string][]*FuncSummary)
+	for _, pkg := range pkgs {
+		entry, ok := c.entries[pkg.Path]
+		if ok && entry.Hash == c.hashOf(pkg) {
+			out[pkg.Path] = entry.Functions
+			c.Hits++
+		} else {
+			c.Misses++
+		}
+	}
+	return out
+}
+
+// Update records freshly extracted summaries for the named packages.
+func (c *SummaryCache) Update(mod *ModuleSummary, pkgs []*Package, freshPaths []string) {
+	fresh := make(map[string]bool, len(freshPaths))
+	for _, p := range freshPaths {
+		fresh[p] = true
+	}
+	for _, pkg := range pkgs {
+		if !fresh[pkg.Path] {
+			continue
+		}
+		c.entries[pkg.Path] = pkgCacheEntry{
+			Hash:      c.hashOf(pkg),
+			Functions: mod.SummariesOf(pkg.Path),
+		}
+	}
+}
+
+// Save writes the cache back to disk (best-effort; no-op when disabled).
+func (c *SummaryCache) Save() error {
+	if c.path == "" {
+		return nil
+	}
+	file := summaryCacheFile{Version: cacheVersion, Packages: c.entries}
+	data, err := json.MarshalIndent(file, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.path, append(data, '\n'), 0o644)
+}
+
+// hashOf computes (and memoizes) a package's content hash: sha256 over its
+// own non-test sources plus, recursively, the hashes of its
+// module-internal imports.
+func (c *SummaryCache) hashOf(pkg *Package) string {
+	if h, ok := c.hashes[pkg.Path]; ok {
+		return h
+	}
+	c.hashes[pkg.Path] = "" // cycle guard; overwritten below
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", cacheVersion)
+	entries, err := os.ReadDir(pkg.Dir)
+	if err == nil {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(pkg.Dir, name))
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(h, "%s %d\n", name, len(data))
+			_, _ = h.Write(data) //lint:allow unchecked-error sha256 Write cannot fail
+		}
+	}
+	// Fold in dependency hashes so a callee edit invalidates callers. Only
+	// module-internal deps matter; stdlib changes come with a toolchain
+	// bump, which changes nothing the summaries model.
+	if pkg.Types != nil {
+		imports := pkg.Types.Imports()
+		depPaths := make([]string, 0, len(imports))
+		for _, imp := range imports {
+			depPaths = append(depPaths, imp.Path())
+		}
+		sort.Strings(depPaths)
+		for _, dep := range depPaths {
+			if internalLibrary(dep) || strings.HasPrefix(dep, moduleOf(pkg.Path)) {
+				fmt.Fprintf(h, "dep %s %s\n", dep, c.hashOfPath(dep))
+			}
+		}
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.hashes[pkg.Path] = sum
+	return sum
+}
+
+// hashOfPath reads a dependency's memoized hash; RegisterAll guarantees
+// the memo is populated bottom-up before any dependent is hashed.
+func (c *SummaryCache) hashOfPath(path string) string {
+	return c.hashes[path]
+}
+
+// RegisterAll precomputes hashes bottom-up so dependency hashes resolve
+// regardless of pkgs order.
+func (c *SummaryCache) RegisterAll(pkgs []*Package) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var ensure func(p *Package)
+	ensure = func(p *Package) {
+		if _, ok := c.hashes[p.Path]; ok {
+			return
+		}
+		if p.Types != nil {
+			for _, imp := range p.Types.Imports() {
+				if dep, ok := byPath[imp.Path()]; ok {
+					ensure(dep)
+				}
+			}
+		}
+		c.hashOf(p)
+	}
+	for _, p := range pkgs {
+		ensure(p)
+	}
+}
+
+// moduleOf trims an import path to its first segment — a cheap stand-in
+// for the module path that is good enough to classify module-internal
+// imports ("sketchml/internal/codec" -> "sketchml").
+func moduleOf(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// HotpathAlloc enforces the ROADMAP zero-allocation steady state
+// statically: a function annotated
+//
+//	//sketchlint:hotpath
+//
+// in its doc comment must be transitively allocation-free. "Allocation"
+// means make/new, slice and map composite literals, address-taken
+// composites, closures, string<->[]byte conversions, and the obvious
+// stdlib allocators (fmt.Sprintf, errors.New, strconv.Format*, ...);
+// excluded are error/panic branches (cold by construction), sync.Pool
+// refills (`*p = make(...)` warming pool scratch), pool gets (recycled
+// memory, the whole point), and sites carrying
+// //lint:allow hotpath-alloc with a rationale.
+//
+// Direct allocations are reported at their own site. An allocation inside
+// a callee — at any depth through the module call graph — is reported at
+// the call edge in the annotated function, with the chain and the witness
+// site, so the finding is actionable where the annotation lives. Callees
+// that are themselves annotated are skipped: they report their own sites,
+// and double-reporting the same make through every caller would bury the
+// signal.
+func HotpathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath-alloc",
+		Doc: "function annotated //sketchlint:hotpath allocates, directly or " +
+			"through a callee; pool gets and documented allows are exempt",
+	}
+	a.Run = func(pass *Pass) {
+		if !internalLibrary(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !HasHotpathDirective(fn) {
+					continue
+				}
+				key := funcKey(pass.Info, fn)
+				sum := pass.Mod.Funcs[key]
+				if sum == nil {
+					continue
+				}
+				for _, site := range sum.Allocs {
+					pass.ReportAt(site.Position(),
+						"%s on hot path %s", site.What, fn.Name.Name)
+				}
+				reported := make(map[string]bool)
+				for _, edge := range sum.Calls {
+					callee := pass.Mod.Funcs[edge.Callee]
+					if callee == nil || callee.Hotpath || callee.ReturnsPool || edge.Cold {
+						continue
+					}
+					if reported[edge.Callee] {
+						continue
+					}
+					w := pass.Mod.TransitiveAlloc(edge.Callee)
+					if w == nil {
+						continue
+					}
+					reported[edge.Callee] = true
+					pass.ReportAt(edge.Site.Position(),
+						"call on hot path %s allocates: %s at %s (via %s)",
+						fn.Name.Name, w.Site.What, w.Site, strings.Join(w.Chain, " -> "))
+				}
+			}
+		}
+	}
+	return a
+}

@@ -26,6 +26,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named check. Run inspects a fully type-checked package
@@ -59,6 +60,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Mod is the module-wide interprocedural summary table. It is built
+	// once per Run and shared by every pass; the v3 analyzers consult it
+	// at call boundaries.
+	Mod *ModuleSummary
 
 	diags *[]Diagnostic
 	allow map[string]map[int]map[string]bool // file -> line -> analyzer names
@@ -68,6 +73,20 @@ type Pass struct {
 // analyzer covers the position.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a finding at a resolved position — used when a
+// diagnostic derives from a cached summary site rather than a live AST
+// node — honoring //lint:allow the same way Reportf does.
+func (p *Pass) ReportAt(position token.Position, format string, args ...any) {
 	if p.allowedAt(position) {
 		return
 	}
@@ -142,10 +161,78 @@ func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int]map[s
 	return out
 }
 
+// RunOptions configures a RunWithStats call.
+type RunOptions struct {
+	// CachedSummaries maps package import paths to still-valid summaries
+	// (the caller validates content hashes); those packages skip summary
+	// extraction.
+	CachedSummaries map[string][]*FuncSummary
+	// SummaryPackages are extra packages to include when building
+	// interprocedural summaries without analyzing them. Partial runs
+	// (-changed) pass the loader's full transitive-import set here so a
+	// changed package's calls into unchanged dependencies resolve against
+	// real summaries — otherwise the conservative external-call fallback
+	// would invent taint the full-module run disproves.
+	SummaryPackages []*Package
+}
+
+// AnalyzerStats is the per-analyzer cost and yield of one run.
+type AnalyzerStats struct {
+	Name     string `json:"name"`
+	Findings int    `json:"findings"`
+	Millis   int64  `json:"millis"`
+}
+
+// RunStats is the timing breakdown of one run.
+type RunStats struct {
+	Analyzers []AnalyzerStats `json:"analyzers"`
+	// SummaryMillis is the time spent building interprocedural summaries
+	// (zero-ish on a warm cache).
+	SummaryMillis int64 `json:"summary_millis"`
+	// FreshPackages lists the packages whose summaries were extracted this
+	// run (cache misses); the caller re-caches exactly these.
+	FreshPackages []string `json:"-"`
+	// Mod is the summary table, exposed so the caller can serialize it.
+	Mod *ModuleSummary `json:"-"`
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunWithStats(fset, pkgs, analyzers, RunOptions{})
+	return diags
+}
+
+// RunWithStats is Run plus per-analyzer timing and summary-cache plumbing.
+func RunWithStats(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, RunStats) {
+	var stats RunStats
+
+	sumPkgs := pkgs
+	if len(opts.SummaryPackages) > 0 {
+		seen := make(map[string]bool, len(opts.SummaryPackages))
+		sumPkgs = append([]*Package(nil), opts.SummaryPackages...)
+		for _, p := range sumPkgs {
+			seen[p.Path] = true
+		}
+		for _, p := range pkgs {
+			if !seen[p.Path] {
+				sumPkgs = append(sumPkgs, p)
+			}
+		}
+	}
+	summaryStart := time.Now()
+	mod, fresh := BuildSummaries(fset, sumPkgs, opts.CachedSummaries)
+	stats.SummaryMillis = time.Since(summaryStart).Milliseconds()
+	stats.FreshPackages = fresh
+	stats.Mod = mod
+
 	var diags []Diagnostic
+	perAnalyzer := make(map[string]*AnalyzerStats, len(analyzers))
+	for _, a := range analyzers {
+		s := &AnalyzerStats{Name: a.Name}
+		perAnalyzer[a.Name] = s
+		stats.Analyzers = append(stats.Analyzers, AnalyzerStats{})
+	}
 	for _, pkg := range pkgs {
 		allow := buildAllow(fset, pkg.Files)
 		for _, a := range analyzers {
@@ -156,11 +243,20 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Mod:      mod,
 				diags:    &diags,
 				allow:    allow,
 			}
+			before := len(diags)
+			start := time.Now()
 			a.Run(pass)
+			s := perAnalyzer[a.Name]
+			s.Millis += time.Since(start).Milliseconds()
+			s.Findings += len(diags) - before
 		}
+	}
+	for i, a := range analyzers {
+		stats.Analyzers[i] = *perAnalyzer[a.Name]
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -175,13 +271,14 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, stats
 }
 
 // All returns the full analyzer suite in stable order. The first five are
-// the v1 serialization/determinism invariants; the second five (v2) guard
+// the v1 serialization/determinism invariants; the next five (v2) guard
 // the concurrency and untrusted-wire surfaces of the parallel codec hot
-// path.
+// path; the last four (v3) are interprocedural, built on the module
+// summary table.
 func All() []*Analyzer {
 	return []*Analyzer{
 		UnseededHash(),
@@ -194,6 +291,10 @@ func All() []*Analyzer {
 		GoroutineJoin(),
 		WaitGroupMisuse(),
 		UnboundedWireAlloc(),
+		WireTaint(),
+		HotpathAlloc(),
+		WireDeterminism(),
+		AtomicMix(),
 	}
 }
 

@@ -99,6 +99,13 @@ func TestUnboundedWireAllocFixture(t *testing.T) {
 	checkFixture(t, "wirealloc", UnboundedWireAlloc())
 }
 
+func TestWireTaintFixture(t *testing.T)    { checkFixture(t, "wiretaint", WireTaint()) }
+func TestHotpathAllocFixture(t *testing.T) { checkFixture(t, "hotpathalloc", HotpathAlloc()) }
+func TestWireDeterminismFixture(t *testing.T) {
+	checkFixture(t, "wiredeterminism", WireDeterminism())
+}
+func TestAtomicMixFixture(t *testing.T) { checkFixture(t, "atomicmix", AtomicMix()) }
+
 // TestScopedAnalyzersSkipForeignPackages pins the path scoping: the
 // wire-endianness and panic-in-library analyzers must stay silent outside
 // their target packages even when the code would otherwise violate them.
@@ -121,11 +128,12 @@ func TestScopedAnalyzersSkipForeignPackages(t *testing.T) {
 }
 
 // TestRepoIsClean runs the full analyzer suite over the whole module —
-// the same thing `go run ./cmd/sketchlint ./...` does — and demands zero
-// findings. This keeps the tree lint-clean even when CI only runs
-// go test.
+// the same thing `make lint` does — and demands zero findings beyond the
+// committed baseline, and zero stale baseline entries. This keeps the
+// tree lint-clean even when CI only runs go test.
 func TestRepoIsClean(t *testing.T) {
-	loader, err := NewLoader(filepath.Join("..", ".."))
+	root := filepath.Join("..", "..")
+	loader, err := NewLoader(root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +144,19 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, d := range Run(loader.Fset(), pkgs, All()) {
+	baseline, err := LoadBaseline(filepath.Join(root, "lint.baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, _, stale := baseline.Filter(absRoot, Run(loader.Fset(), pkgs, All()))
+	for _, d := range active {
 		t.Errorf("%s", d)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry: %s %s %q matches no finding; remove it", e.File, e.Analyzer, e.Message)
 	}
 }

@@ -1,0 +1,48 @@
+// Package atomicmix is a sketchlint test fixture for the atomic-mix
+// analyzer: a field accessed via sync/atomic anywhere must never be
+// accessed plainly elsewhere. The plain side of the true positives lives
+// partly in other.go to exercise the cross-file aggregation.
+package atomicmix
+
+import "sync/atomic"
+
+// Stats mixes access modes across functions and files.
+type Stats struct {
+	hits   int64
+	misses int64
+	limit  int64
+}
+
+// Bump is the atomic side of hits.
+func Bump(s *Stats) {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Snapshot reads hits without synchronization — the racy mix.
+func Snapshot(s *Stats) int64 {
+	return s.hits // want "plain access to Stats.hits"
+}
+
+// NewStats initializes fields before the value is shared; constructors
+// are exempt from the plain-access side.
+func NewStats(limit int64) *Stats {
+	s := &Stats{}
+	s.hits = 0
+	s.limit = limit
+	return s
+}
+
+// SetLimit touches a field nobody accesses atomically — no mix.
+func SetLimit(s *Stats, v int64) {
+	s.limit = v
+}
+
+// Typed uses the atomic box type; its methods are the safe pattern and
+// never trigger the analyzer.
+type Typed struct {
+	n atomic.Int64
+}
+
+func (t *Typed) Add() int64 { return t.n.Add(1) }
+
+func (t *Typed) Read() int64 { return t.n.Load() }

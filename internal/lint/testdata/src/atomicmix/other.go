@@ -1,0 +1,15 @@
+package atomicmix
+
+import "sync/atomic"
+
+// bumpMisses is the atomic side of misses, one file away from Reset.
+func bumpMisses(s *Stats) {
+	atomic.AddInt64(&s.misses, 1)
+}
+
+// Reset zeroes the counter bumpMisses increments atomically — the mix
+// spans two files.
+func Reset(s *Stats) {
+	s.misses = 0 // want "plain access to Stats.misses"
+	bumpMisses(s)
+}

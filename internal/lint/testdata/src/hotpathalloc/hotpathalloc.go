@@ -1,0 +1,71 @@
+// Package hotpathalloc is a sketchlint test fixture for the hotpath-alloc
+// analyzer: functions annotated //sketchlint:hotpath must be transitively
+// allocation-free except pool gets, cold error branches, and documented
+// allows.
+package hotpathalloc
+
+import (
+	"fmt"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// getBuf returns pooled scratch; the refill is pool warm-up, not a
+// hot-path allocation.
+func getBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	if cap(*b) < 64 {
+		*b = make([]byte, 0, 64)
+	}
+	return b
+}
+
+// leaf allocates; nobody annotated it, so the finding belongs to the
+// annotated caller's call site.
+func leaf(n int) []byte {
+	return make([]byte, n)
+}
+
+// middle adds a frame between the hot path and the allocation.
+func middle(n int) []byte {
+	return leaf(n)
+}
+
+//sketchlint:hotpath
+func HotDirect(dst []byte) []byte {
+	tmp := make([]byte, 8) // want "make on hot path HotDirect"
+	return append(dst, tmp...)
+}
+
+//sketchlint:hotpath
+func HotTransitive(n int, dst []byte) []byte {
+	return append(dst, middle(n)...) // want "call on hot path HotTransitive allocates"
+}
+
+//sketchlint:hotpath
+func HotPooled(dst []byte) []byte {
+	b := getBuf()
+	dst = append(dst, *b...)
+	bufPool.Put(b)
+	return dst
+}
+
+//sketchlint:hotpath
+func HotColdError(v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("hotpathalloc: negative input %d", v)
+	}
+	return v * 2, nil
+}
+
+//sketchlint:hotpath
+func HotAllowed() []byte {
+	//lint:allow hotpath-alloc one-time header scratch, reused across calls by the caller
+	return make([]byte, 16)
+}
+
+// ColdCaller is unannotated; its allocations are its own business.
+func ColdCaller() []byte {
+	return make([]byte, 1024)
+}

@@ -1,0 +1,92 @@
+// Package wiretaint is a sketchlint test fixture for the interprocedural
+// wire-taint analyzer. Each "want" comment marks a line that must be
+// flagged; the interesting cases are the ones v1 unbounded-wire-alloc
+// cannot see because the taint crosses a function boundary.
+package wiretaint
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// readHeader returns the raw length header — a wire-derived value.
+func readHeader(data []byte) int {
+	return int(binary.LittleEndian.Uint32(data))
+}
+
+// through adds one more hop between the wire read and the sink.
+func through(data []byte) int {
+	n := readHeader(data)
+	return n + 1
+}
+
+// alloc sizes a buffer by its argument without validating it.
+func alloc(n int) []byte {
+	return make([]byte, n)
+}
+
+// allocChecked validates its size argument before allocating.
+func allocChecked(n int) []byte {
+	if n < 0 || n > 1<<20 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// expand allocates from a wire value it reads itself; not decode-named,
+// so its site is reported through callers.
+func expand(data []byte) []byte {
+	n := readHeader(data)
+	return make([]byte, n)
+}
+
+// DecodeChain: taint flows readHeader -> through -> alloc, two helpers
+// between the wire read and the make.
+func DecodeChain(data []byte) []byte {
+	n := through(data)
+	return alloc(n) // want "wire-derived n passed to alloc"
+}
+
+// DecodeGuardedChain bound-checks the helper's result before allocating;
+// the guard sanitizes the taint.
+func DecodeGuardedChain(data []byte) ([]byte, error) {
+	n := through(data)
+	if n < 0 || n > len(data) {
+		return nil, errors.New("bad length")
+	}
+	return alloc(n), nil
+}
+
+// DecodeCalleeGuarded relies on the callee's own bound check — the
+// summary records that the parameter never reaches a sink unguarded.
+func DecodeCalleeGuarded(data []byte) []byte {
+	return allocChecked(readHeader(data))
+}
+
+// DecodeInherit inherits expand's unguarded allocation site at the call.
+func DecodeInherit(data []byte) []byte {
+	return expand(data) // want "call to expand"
+}
+
+// DecodeIndex uses a wire-derived offset as an index with no check.
+func DecodeIndex(data []byte, table []uint64) uint64 {
+	i := readHeader(data)
+	return table[i] // want "wire-derived i used as an index"
+}
+
+// DecodeLoop lets a helper-mediated wire value bound a loop.
+func DecodeLoop(data []byte) int {
+	count := through(data)
+	sum := 0
+	for i := 0; i < count; i++ { // want "wire-derived count bounds a loop"
+		sum += i
+	}
+	return sum
+}
+
+// DecodeLenBounded sizes by len(data), which is inherently bounded.
+func DecodeLenBounded(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// encodeVerbs mark encode-side entry points: functions that produce wire
+// bytes. The wire-determinism rule anchors its reports there.
+var encodeVerbs = []string{
+	"Encode", "encode", "Append", "append", "Marshal", "marshal",
+	"Write", "write", "Send", "send", "Pack", "pack",
+}
+
+func isEncodeFunc(name string) bool {
+	for _, verb := range encodeVerbs {
+		if strings.HasPrefix(name, verb) {
+			return true
+		}
+	}
+	return false
+}
+
+// WireDeterminism is the compile-time twin of the golden-vector
+// perturbation tests: the bytes a sketch encodes must be bit-identical
+// across runs, workers, and GOMAXPROCS settings, or workers disagree
+// bucket-for-bucket and the merge in the parameter server silently
+// diverges. The runtime tests sample that property; this analyzer proves
+// the easy half of it by construction — no value derived from time.Now,
+// math/rand, map iteration order, or runtime.GOMAXPROCS/NumCPU may reach
+// a wire write (a []byte element store, an append to a []byte, a
+// binary.Put*/Append*, or a Send/Write sink), directly or through any
+// summarized call chain.
+//
+// Nondeterminism that never touches the output bytes is fine: timing a
+// pass with time.Now for metrics, seeding a local shuffle for tests, or
+// ranging over a map to sum values all pass. Ranging over a map and
+// writing in that order fails; sorting the keys first (sort.* or
+// slices.Sort*) launders the ordering taint.
+func WireDeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "wire-determinism",
+		Doc: "nondeterministic value (time, rand, map order, GOMAXPROCS) " +
+			"reaches bytes written to the wire; golden vectors cannot hold",
+	}
+	a.Run = func(pass *Pass) {
+		if !isAllocPackage(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isEncodeFunc(fn.Name.Name) {
+					continue
+				}
+				sum := pass.Mod.Funcs[funcKey(pass.Info, fn)]
+				if sum == nil {
+					continue
+				}
+				for _, site := range sum.NondetWire {
+					pass.ReportAt(site.Position(), "%s", site.What)
+				}
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WireTaint is the interprocedural upgrade of unbounded-wire-alloc. The
+// v2 analyzer stops at function boundaries: `n := readHeader(data)` looks
+// like a trusted local even when readHeader is three lines of
+// binary.LittleEndian.Uint32. This analyzer follows the value through the
+// module summaries instead — taint starts at wire reads (binary.* Uint
+// decodes, indexing a []byte) anywhere in the call tree, propagates
+// through returns and parameters, and is reported when it reaches an
+// allocation size, a slice index, or a loop bound without passing an
+// ordering comparison first. Guards sanitize exactly as in v2: any
+// <, >, <=, >= mention of the variable earlier in the function.
+//
+// Scope matches v2 (the wire packages: codec, bitpack, keycoding,
+// cluster), and reporting anchors at decode-verb-named entry points so
+// every finding names a function an attacker's bytes actually enter
+// through. Direct make/Grow sites inside those entry points stay with
+// unbounded-wire-alloc; this analyzer adds the sites v2 cannot see —
+// helper-mediated allocations, indexes, loop bounds, and taint that
+// crossed a call edge.
+func WireTaint() *Analyzer {
+	a := &Analyzer{
+		Name: "wire-taint",
+		Doc: "wire-derived value reaches an allocation size, index, or loop " +
+			"bound through a call chain with no bound check on the way",
+	}
+	a.Run = func(pass *Pass) {
+		if !isAllocPackage(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isDecodeFunc(fn.Name.Name) {
+					continue
+				}
+				key := funcKey(pass.Info, fn)
+				sum := pass.Mod.Funcs[key]
+				if sum == nil {
+					continue
+				}
+				for _, site := range sum.WireAllocSites {
+					pass.ReportAt(site.Position(), "%s", site.What)
+				}
+			}
+		}
+	}
+	return a
+}

@@ -728,14 +728,19 @@ func recvGradient(cfg Config, conn cluster.Conn, w, round int) gatherOutcome {
 // mean; it aborts only on quorum loss (fewer than
 // ceil(MinGatherFraction·W) arrivals) or when one worker reaches MaxStrikes
 // consecutive misses.
+//
+//sketchlint:hotpath
 func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, strikes []int, acc *gradient.Accumulator, es *EpochStats, driverDecode *time.Duration) error {
+	//lint:allow hotpath-alloc one O(workers) slice per round, not per byte; a round moves megabytes
 	outs := make([]gatherOutcome, cfg.Workers)
 	if cfg.Workers == 1 {
+		//lint:allow hotpath-alloc recvGradient allocates only on fault paths (decode error, strict-mode abort); the clean-path receive is allocation-free
 		outs[0] = recvGradient(cfg, driverSide[0], 0, round)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(cfg.Workers)
 		for w := 0; w < cfg.Workers; w++ {
+			//lint:allow hotpath-alloc one goroutine closure per worker per round; the fan-out is the parallel-decode design
 			go func(w int) {
 				defer wg.Done()
 				outs[w] = recvGradient(cfg, driverSide[w], w, round)
