@@ -28,6 +28,14 @@ BENCHFLAGS ?= -benchtime=0.5s
 # nothing on another machine, while allocation counts are stable.
 BENCH_TOLERANCE ?= 25
 BENCH_COMPARE_FLAGS ?=
+# Steady-state benchmark surface: the codec encode/decode sweep plus the
+# cluster deadline-receive loop. Both feed one benchjson document; the
+# committed BENCH_ceilings.json pins absolute allocs/op ceilings for the
+# machine-independent rows (0 for DecodeInto, 2 for RecvTimeout), because
+# a 0 -> 1 allocation regression is invisible to percentage thresholds.
+BENCH_PKGS     ?= ./internal/codec ./internal/cluster
+BENCH_PATTERN  ?= 'BenchmarkEncodeDecode|BenchmarkRecvTimeoutSteadyState'
+BENCH_CEILINGS ?= BENCH_ceilings.json
 # Fault seed for the race-matrix chaos point; the default chaos-soak run
 # uses the test's built-in seed, so the matrix exercises a second schedule.
 CHAOS_MATRIX_SEED ?= 7
@@ -110,25 +118,29 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz $$target -fuzztime $(FUZZTIME) $$pkg; \
 	done
 
-# bench runs the codec micro-benchmarks and rewrites the committed JSON
+# bench runs the steady-state micro-benchmarks (codec encode/decode plus
+# the cluster receive loop) and rewrites the committed JSON
 # baseline. The text output still streams to the terminal; benchjson parses
 # the captured copy.
 bench:
-	@$(GO) test ./internal/codec -run '^$$' -bench BenchmarkEncodeDecode -benchmem -count=1 $(BENCHFLAGS) > bench.out || \
+	@$(GO) test $(BENCH_PKGS) -run '^$$' -bench $(BENCH_PATTERN) -benchmem -count=1 $(BENCHFLAGS) > bench.out || \
 		{ cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_codec.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_codec.json -ceilings $(BENCH_CEILINGS) < bench.out
 	@rm -f bench.out
 	@echo "bench: wrote BENCH_codec.json"
 
-# bench-check is the regression gate: rerun the codec benchmarks and exit
-# nonzero when a metric regresses more than BENCH_TOLERANCE percent
-# against the committed BENCH_codec.json baseline (ns/op and B/op by
-# default; allocs/op and B/op with BENCH_COMPARE_FLAGS=-alloc-only).
+# bench-check is the regression gate: rerun the steady-state benchmarks
+# and exit nonzero when a metric regresses more than BENCH_TOLERANCE
+# percent against the committed BENCH_codec.json baseline (ns/op and B/op
+# by default; allocs/op and B/op with BENCH_COMPARE_FLAGS=-alloc-only), or
+# when any row exceeds its absolute allocs/op ceiling from
+# BENCH_ceilings.json (the zero-allocation contract: DecodeInto rows stay
+# at 0, the steady-state RecvTimeout row stays at or below 2).
 bench-check:
-	@$(GO) test ./internal/codec -run '^$$' -bench BenchmarkEncodeDecode -benchmem -count=1 $(BENCHFLAGS) > bench.out || \
+	@$(GO) test $(BENCH_PKGS) -run '^$$' -bench $(BENCH_PATTERN) -benchmem -count=1 $(BENCHFLAGS) > bench.out || \
 		{ cat bench.out; rm -f bench.out; exit 1; }
-	@$(GO) run ./cmd/benchjson -compare BENCH_codec.json -threshold $(BENCH_TOLERANCE) $(BENCH_COMPARE_FLAGS) < bench.out; \
+	@$(GO) run ./cmd/benchjson -compare BENCH_codec.json -threshold $(BENCH_TOLERANCE) -ceilings $(BENCH_CEILINGS) $(BENCH_COMPARE_FLAGS) < bench.out; \
 		rc=$$?; rm -f bench.out; exit $$rc
 
 verify: build fmt vet lint test race-matrix chaos-soak fuzz-smoke

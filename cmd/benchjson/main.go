@@ -23,6 +23,14 @@
 // cross-machine CI, where wall timing against a committed baseline is
 // meaningless but allocation counts are stable.
 //
+// -ceilings FILE adds an absolute allocs/op gate: the file commits a hard
+// ceiling per benchmark name, and any fresh row above its ceiling fails the
+// run regardless of what the relative baseline says. Relative comparison
+// catches drift; ceilings pin the zero-allocation steady-state contract
+// (0 allocs/op rows stay 0 — a 0→1 regression is invisible to percentage
+// thresholds, whose baseline denominator is zero). A ceiling naming no
+// fresh row is an error, so stale entries cannot rot in the file.
+//
 // -merge-report embeds a training run report (written by `sketchml
 // -metrics-out`) into the output document, pairing a run's compression and
 // stage accounting with the micro-benchmark numbers of the same commit.
@@ -69,6 +77,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON to compare against; exit nonzero on regression")
 	threshold := flag.Float64("threshold", 25, "regression threshold in percent for -compare")
 	allocOnly := flag.Bool("alloc-only", false, "with -compare, check only B/op and allocs/op (cross-machine CI: committed ns/op is not comparable)")
+	ceilings := flag.String("ceilings", "", "JSON file of absolute allocs/op ceilings per benchmark; exit nonzero when exceeded or stale")
 	mergeReport := flag.String("merge-report", "", "embed this training run report (from `sketchml -metrics-out`) in the output")
 	flag.Parse()
 
@@ -88,6 +97,26 @@ func main() {
 			os.Exit(1)
 		}
 		rep.RunReport = rr
+	}
+
+	if *ceilings != "" {
+		violations, checked, err := checkCeilings(*ceilings, rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: CEILING:", v)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d allocs/op ceiling violation(s) across %d gated benchmark(s)\n",
+				len(violations), checked)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %d benchmark(s) within the allocs/op ceilings of %s\n", checked, *ceilings)
+		if *compare == "" && *out == "" {
+			return // gate mode: no JSON dump unless explicitly requested
+		}
 	}
 
 	if *compare != "" {
@@ -129,6 +158,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// ceilingFile is the committed absolute-gate document: benchmark name
+// (GOMAXPROCS suffix ignored, like baseline matching) to the maximum
+// allocs/op that row may report.
+type ceilingFile struct {
+	// AllocsPerOp maps a benchmark name to its hard allocs/op ceiling.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+}
+
+// checkCeilings enforces the absolute allocs/op ceilings in path against
+// the fresh results. Unlike the relative gate, matching is strict both
+// ways: a gated row above its ceiling is a violation, and a ceiling that
+// matches no fresh row is an error (a renamed benchmark must move its
+// ceiling, not orphan it — the same hygiene rule the lint baseline uses).
+func checkCeilings(path string, cur *Report) (violations []string, checked int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var cf ceilingFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, 0, fmt.Errorf("parse ceilings %s: %w", path, err)
+	}
+	if len(cf.AllocsPerOp) == 0 {
+		return nil, 0, fmt.Errorf("ceilings %s gates nothing (empty allocs_per_op)", path)
+	}
+	results := make(map[string]Entry, len(cur.Results))
+	for _, e := range cur.Results {
+		results[trimProcs(e.Name)] = e
+	}
+	for name, max := range cf.AllocsPerOp {
+		e, ok := results[trimProcs(name)]
+		if !ok {
+			return nil, 0, fmt.Errorf("stale ceiling: %q matches no benchmark in the input; remove or rename it", name)
+		}
+		checked++
+		if e.AllocsPerOp > max {
+			violations = append(violations, fmt.Sprintf("%s: allocs/op %.6g exceeds ceiling %.6g",
+				e.Name, e.AllocsPerOp, max))
+		}
+	}
+	sort.Strings(violations)
+	return violations, checked, nil
 }
 
 // readBaseline loads a committed benchmark baseline document.
@@ -214,7 +287,13 @@ func parse(r io.Reader) (*Report, error) {
 		case strings.HasPrefix(line, "goarch:"):
 			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			// Multi-package bench runs emit one pkg header per package;
+			// record them all, comma-joined, rather than keeping the last.
+			pkg := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if rep.Pkg != "" {
+				pkg = rep.Pkg + ", " + pkg
+			}
+			rep.Pkg = pkg
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -136,6 +138,64 @@ func TestCompareReports(t *testing.T) {
 		}
 		if matched != 1 || len(regs) != 0 {
 			t.Fatalf("matched=%d regs=%v, want B/op check skipped when baseline has none", matched, regs)
+		}
+	})
+}
+
+// TestCheckCeilings pins the absolute allocs/op gate: rows at or under
+// their ceiling pass (zero ceilings included — the whole point is pinning
+// 0-alloc rows), rows above fail, ceilings naming no fresh row are a hard
+// error rather than silently passing, and the GOMAXPROCS suffix is
+// normalized on both sides.
+func TestCheckCeilings(t *testing.T) {
+	writeCeilings := func(t *testing.T, body string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "ceilings.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cur := &Report{Results: []Entry{
+		{Name: "BenchmarkZeroAlloc-8", AllocsPerOp: 0},
+		{Name: "BenchmarkBounded", AllocsPerOp: 2},
+		{Name: "BenchmarkHot", AllocsPerOp: 5},
+	}}
+
+	t.Run("within ceilings passes", func(t *testing.T) {
+		path := writeCeilings(t, `{"allocs_per_op": {"BenchmarkZeroAlloc": 0, "BenchmarkBounded-16": 2}}`)
+		violations, checked, err := checkCeilings(path, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if checked != 2 || len(violations) != 0 {
+			t.Fatalf("checked=%d violations=%v, want 2 checked and none", checked, violations)
+		}
+	})
+
+	t.Run("zero-alloc regression caught", func(t *testing.T) {
+		path := writeCeilings(t, `{"allocs_per_op": {"BenchmarkHot": 0}}`)
+		violations, _, err := checkCeilings(path, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(violations) != 1 || !strings.Contains(violations[0], "BenchmarkHot") {
+			t.Fatalf("violations %v, want exactly one naming BenchmarkHot", violations)
+		}
+	})
+
+	t.Run("stale ceiling is an error", func(t *testing.T) {
+		path := writeCeilings(t, `{"allocs_per_op": {"BenchmarkRenamedAway": 0}}`)
+		if _, _, err := checkCeilings(path, cur); err == nil ||
+			!strings.Contains(err.Error(), "stale ceiling") {
+			t.Fatalf("want stale-ceiling error, got %v", err)
+		}
+	})
+
+	t.Run("empty gate is an error", func(t *testing.T) {
+		path := writeCeilings(t, `{"allocs_per_op": {}}`)
+		if _, _, err := checkCeilings(path, cur); err == nil {
+			t.Fatal("want error for a ceilings file that gates nothing")
 		}
 	})
 }

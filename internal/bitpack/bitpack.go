@@ -176,6 +176,15 @@ func AppendBlock(dst []byte, values []uint32, width int) []byte {
 // DecodeBlock parses a block written by AppendBlock, returning the values
 // and the number of bytes consumed.
 func DecodeBlock(data []byte) ([]uint32, int, error) {
+	return DecodeBlockInto(data, nil)
+}
+
+// DecodeBlockInto is DecodeBlock with a caller-owned destination: values
+// are unpacked into dst's storage, which is reused when its capacity
+// covers the wire count and grown otherwise, and the (possibly regrown)
+// slice is returned. The count is bounds-checked against the available
+// bytes before any allocation, exactly as in DecodeBlock.
+func DecodeBlockInto(data []byte, dst []uint32) ([]uint32, int, error) {
 	if len(data) < 5 {
 		return nil, 0, errors.New("bitpack: truncated block header")
 	}
@@ -191,9 +200,30 @@ func DecodeBlock(data []byte) ([]uint32, int, error) {
 	if len(data) < 5+body {
 		return nil, 0, fmt.Errorf("bitpack: need %d bytes, have %d", 5+body, len(data))
 	}
-	vals, err := NewReader(data[5:5+body], width).ReadAll(count)
-	if err != nil {
-		return nil, 0, err
+	vals := dst
+	if cap(vals) >= count {
+		vals = vals[:count]
+	} else {
+		//lint:allow hotpath-alloc grows the caller's reusable value buffer; amortized to zero once capacity warms up
+		vals = make([]uint32, count)
+	}
+	// Unpack inline rather than through a heap Reader so the warm path
+	// stays allocation-free.
+	packed := data[5 : 5+body]
+	uw := uint(width)
+	mask := uint64(1)<<uw - 1
+	var cur uint64
+	var nbits uint
+	pos := 0
+	for i := range vals {
+		for nbits < uw {
+			cur |= uint64(packed[pos]) << nbits
+			nbits += 8
+			pos++
+		}
+		vals[i] = uint32(cur & mask)
+		cur >>= uw
+		nbits -= uw
 	}
 	return vals, 5 + body, nil
 }

@@ -49,16 +49,18 @@ func tcpPair(t *testing.T) (Conn, Conn) {
 }
 
 // TestTCPConcurrentSenders hammers one shared Conn with many concurrent
-// senders and receivers. Before Send serialized frames under a mutex, the
-// shared header buffer raced and header/body pairs interleaved on the wire;
-// this test (run under -race via `make race`) pins the fix: every frame
-// must arrive intact and the multiset of payloads must match exactly.
+// senders. Before Send serialized frames under a mutex, the shared header
+// buffer raced and header/body pairs interleaved on the wire; this test
+// (run under -race via `make race`) pins the fix: every frame must arrive
+// intact and the multiset of payloads must match exactly. Receiving uses
+// one goroutine that finishes with each message before the next Recv —
+// the Conn contract — because a received message aliases the conn-owned
+// receive buffer and is only valid until the next receive.
 func TestTCPConcurrentSenders(t *testing.T) {
 	client, server := tcpPair(t)
 	const (
 		senders        = 8
 		msgsPerSender  = 200
-		receivers      = 4
 		totalMessages  = senders * msgsPerSender
 		payloadModulus = 251
 	)
@@ -94,42 +96,31 @@ func TestTCPConcurrentSenders(t *testing.T) {
 		s, i int
 	}
 	got := make(chan recvd, totalMessages)
-	recvErrs := make(chan error, receivers)
+	recvErrs := make(chan error, 1)
 	var recvWG sync.WaitGroup
-	remaining := make(chan struct{}, totalMessages)
-	for i := 0; i < totalMessages; i++ {
-		remaining <- struct{}{}
-	}
-	for r := 0; r < receivers; r++ {
-		recvWG.Add(1)
-		go func() {
-			defer recvWG.Done()
-			for {
-				select {
-				case <-remaining:
-				default:
-					return
-				}
-				msg, err := server.Recv()
-				if err != nil {
-					recvErrs <- err
-					return
-				}
-				if len(msg) < 8 {
-					recvErrs <- fmt.Errorf("frame too short: %d bytes", len(msg))
-					return
-				}
-				s := int(binary.LittleEndian.Uint32(msg[0:]))
-				i := int(binary.LittleEndian.Uint32(msg[4:]))
-				want := makePayload(s, i)
-				if !bytes.Equal(msg, want) {
-					recvErrs <- fmt.Errorf("frame (%d,%d) corrupted", s, i)
-					return
-				}
-				got <- recvd{s, i}
+	recvWG.Add(1)
+	go func() {
+		defer recvWG.Done()
+		for n := 0; n < totalMessages; n++ {
+			msg, err := server.Recv()
+			if err != nil {
+				recvErrs <- err
+				return
 			}
-		}()
-	}
+			if len(msg) < 8 {
+				recvErrs <- fmt.Errorf("frame too short: %d bytes", len(msg))
+				return
+			}
+			s := int(binary.LittleEndian.Uint32(msg[0:]))
+			i := int(binary.LittleEndian.Uint32(msg[4:]))
+			want := makePayload(s, i)
+			if !bytes.Equal(msg, want) {
+				recvErrs <- fmt.Errorf("frame (%d,%d) corrupted", s, i)
+				return
+			}
+			got <- recvd{s, i}
+		}
+	}()
 
 	sendWG.Wait()
 	close(sendErrs)

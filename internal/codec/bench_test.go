@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+
+	"sketchml/internal/gradient"
 )
 
 // BenchmarkEncodeDecode measures the codec hot path across the operating
@@ -77,6 +79,23 @@ func BenchmarkEncodeDecode(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+		// DecodeInto with a reused destination is the steady-state receive
+		// path: once the destination and pooled scratch warm up it must run
+		// allocation-free on the serial plan (bench-check pins the ceiling).
+		b.Run("DecodeInto/"+name, func(b *testing.B) {
+			var dst gradient.Sparse
+			if err := c.DecodeInto(msg, &dst); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.DecodeInto(msg, &dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(msg)), "compressed-B/msg")
 		})
 	}
 }

@@ -33,6 +33,31 @@ type Codec interface {
 	Decode(data []byte) (*gradient.Sparse, error)
 }
 
+// DecoderInto is implemented by codecs whose decode path can reuse a
+// caller-owned destination gradient, so steady-state receive loops stop
+// paying a fresh gradient per message. DecodeInto carries Decode's
+// validation and concurrency contract — safe for concurrent use provided
+// each goroutine passes its own dst — and leaves dst unspecified on
+// error.
+type DecoderInto interface {
+	DecodeInto(data []byte, dst *gradient.Sparse) error
+}
+
+// DecodeReuse decodes data with c, filling dst when c implements
+// DecoderInto and falling back to a fresh Decode otherwise. It returns
+// the gradient holding the result: dst on the reuse path, a newly
+// allocated gradient on the fallback, so callers can treat both shapes
+// uniformly.
+func DecodeReuse(c Codec, data []byte, dst *gradient.Sparse) (*gradient.Sparse, error) {
+	if d, ok := c.(DecoderInto); ok {
+		if err := d.DecodeInto(data, dst); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
+	return c.Decode(data)
+}
+
 // Breakdown reports where an encoded message's bytes went, for the
 // Figure 8(b) message-size analysis.
 type Breakdown struct {

@@ -87,3 +87,18 @@ func (c *ErrorFeedback) Encode(g *gradient.Sparse) ([]byte, error) {
 func (c *ErrorFeedback) Decode(data []byte) (*gradient.Sparse, error) {
 	return c.inner.Decode(data)
 }
+
+// DecodeInto implements DecoderInto: it forwards to the inner codec's
+// reuse path when available and otherwise copies a fresh inner Decode
+// into dst.
+func (c *ErrorFeedback) DecodeInto(data []byte, dst *gradient.Sparse) error {
+	if d, ok := c.inner.(DecoderInto); ok {
+		return d.DecodeInto(data, dst)
+	}
+	g, err := c.inner.Decode(data)
+	if err != nil {
+		return err
+	}
+	*dst = *g
+	return nil
+}

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"sketchml/internal/sketch/minmax"
 )
 
 // This file holds the concurrency and buffer-reuse machinery behind the
@@ -67,10 +69,12 @@ func forEach(par, n int, fn func(i int) error) error {
 		return nil
 	}
 	var next atomic.Int64
+	//lint:allow hotpath-alloc per-fan-out error slots; the par<=1 branch above returns before this line, so serial hot paths never reach it
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(par)
 	for w := 0; w < par; w++ {
+		//lint:allow hotpath-alloc one worker closure per fan-out goroutine; unreachable from the serial par<=1 path
 		go func() {
 			defer wg.Done()
 			for {
@@ -146,3 +150,75 @@ func getU32(n int) *[]uint32 {
 }
 
 func putU32(b *[]uint32) { u32Pool.Put(b) }
+
+// ---- decode scratch ----
+
+// decodeScratch is the reusable per-call state behind DecodeInto's serial
+// path: flat key/value stores reserved once per message (per-group lists
+// alias windows of them, so nothing reallocates mid-decode), a means
+// table, a bitpack index buffer, one grouped sketch rebuilt in place per
+// pane, the per-group list headers, and the k-way-merge cursors. Pooled
+// so steady-state decodes allocate nothing once capacities warm up.
+type decodeScratch struct {
+	means    []float64
+	keys     []uint64 // flat backing; keyLists entries alias windows of it
+	vals     []float64
+	idx      []uint32
+	grouped  *minmax.Grouped
+	keyLists [][]uint64
+	valLists [][]float64
+	pos      []int // k-way-merge cursors
+	usedK    int   // flat-store cursors
+	usedV    int
+}
+
+var decodeScratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+// getScratch returns pooled decode scratch; putScratch recycles it. The
+// scratch never escapes DecodeInto — decoded gradients own their backing
+// arrays outright.
+func getScratch() *decodeScratch { return decodeScratchPool.Get().(*decodeScratch) }
+
+func putScratch(sc *decodeScratch) { decodeScratchPool.Put(sc) }
+
+// reset prepares the scratch for a message of at most total entries. The
+// caller has already bounds-checked total against the message length.
+func (sc *decodeScratch) reset(total int) {
+	if cap(sc.keys) < total {
+		//lint:allow hotpath-alloc grows the reusable flat key store; total is bounds-checked against the message length by the caller, and the capacity amortizes to zero once warm
+		sc.keys = make([]uint64, 0, total)
+	}
+	if cap(sc.vals) < total {
+		//lint:allow hotpath-alloc grows the reusable flat value store, same bound and amortization as the key store above
+		sc.vals = make([]float64, 0, total)
+	}
+	sc.usedK, sc.usedV = 0, 0
+	sc.keyLists = sc.keyLists[:0]
+	sc.valLists = sc.valLists[:0]
+}
+
+// keyTail returns an empty slice aliasing the unused tail of the flat key
+// store, for decode-into calls that fill it in place.
+func (sc *decodeScratch) keyTail() []uint64 { return sc.keys[sc.usedK:sc.usedK] }
+
+// claimKeys advances the flat-store cursor past keys when the decode
+// landed in the tail. A decode that overflowed into a fresh slice (its
+// capacity cannot match the tail's) costs nothing to skip.
+func (sc *decodeScratch) claimKeys(keys []uint64) {
+	if cap(keys) == cap(sc.keys)-sc.usedK {
+		sc.usedK += len(keys)
+	}
+}
+
+// grabVals returns a value slice of length n: a window of the flat value
+// store when capacity allows, a fresh slice otherwise (hostile headers
+// can understate the entry count; honest messages always fit).
+func (sc *decodeScratch) grabVals(n int) []float64 {
+	if n <= cap(sc.vals)-sc.usedV {
+		v := sc.vals[sc.usedV : sc.usedV+n]
+		sc.usedV += n
+		return v
+	}
+	//lint:allow hotpath-alloc overflow fallback for hostile headers that understate the entry count; honest messages always fit the reserved flat store
+	return make([]float64, n)
+}

@@ -74,23 +74,32 @@ func (c *Raw) Encode(g *gradient.Sparse) ([]byte, error) {
 
 // Decode implements Codec.
 func (c *Raw) Decode(data []byte) (*gradient.Sparse, error) {
-	r := &reader{data: data}
-	if err := checkTag(r, tagRaw); err != nil {
+	g := &gradient.Sparse{}
+	if err := c.DecodeInto(data, g); err != nil {
 		return nil, err
+	}
+	return g, nil
+}
+
+// DecodeInto implements DecoderInto, reusing dst's key and value storage.
+func (c *Raw) DecodeInto(data []byte, dst *gradient.Sparse) error {
+	r := reader{data: data}
+	if err := checkTag(&r, tagRaw); err != nil {
+		return err
 	}
 	flags, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	f32 := flags&1 != 0
 	wide := flags&2 != 0
 	dim, err := r.u64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	count, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	kb, vb := 4, 8
 	if wide {
@@ -100,9 +109,10 @@ func (c *Raw) Decode(data []byte) (*gradient.Sparse, error) {
 		vb = 4
 	}
 	if int64(r.remain()) < int64(count)*int64(kb+vb) {
-		return nil, errTruncated
+		return errTruncated
 	}
-	g := gradient.NewSparse(dim, int(count))
+	dst.Dim = dim
+	dst.Reset()
 	for i := uint32(0); i < count; i++ {
 		var k uint64
 		if wide {
@@ -113,9 +123,9 @@ func (c *Raw) Decode(data []byte) (*gradient.Sparse, error) {
 			k = uint64(k32)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g.Keys = append(g.Keys, k)
+		dst.Keys = append(dst.Keys, k)
 	}
 	for i := uint32(0); i < count; i++ {
 		var v float64
@@ -127,14 +137,14 @@ func (c *Raw) Decode(data []byte) (*gradient.Sparse, error) {
 			v, err = r.f64()
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g.Values = append(g.Values, v)
+		dst.Values = append(dst.Values, v)
 	}
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("codec: corrupt raw message: %w", err)
+	if err := dst.Validate(); err != nil {
+		return fmt.Errorf("codec: corrupt raw message: %w", err)
 	}
-	return g, nil
+	return nil
 }
 
 // Analyze implements Analyzer.

@@ -472,10 +472,17 @@ func (c *SketchML) appendKeys(out []byte, keys []uint64, wide bool) ([]byte, err
 	return out, nil
 }
 
-// decodeKeys reads a key list written by appendKeys.
+// decodeKeys reads a key list written by appendKeys into fresh storage.
 func decodeKeys(r *reader, delta, wide bool) ([]uint64, error) {
+	return decodeKeysInto(r, delta, wide, nil)
+}
+
+// decodeKeysInto reads a key list written by appendKeys into dst's
+// storage, reused when its capacity covers the wire count and grown
+// otherwise; the (possibly regrown) slice is returned.
+func decodeKeysInto(r *reader, delta, wide bool, dst []uint64) ([]uint64, error) {
 	if delta {
-		keys, used, err := keycoding.DecodeDelta(r.rest())
+		keys, used, err := keycoding.DecodeDeltaInto(r.rest(), dst)
 		if err != nil {
 			return nil, err
 		}
@@ -495,7 +502,13 @@ func decodeKeys(r *reader, delta, wide bool) ([]uint64, error) {
 	if int64(r.remain()) < int64(count)*int64(kb) {
 		return nil, errTruncated
 	}
-	keys := make([]uint64, count)
+	keys := dst
+	if cap(keys) >= int(count) {
+		keys = keys[:count]
+	} else {
+		//lint:allow hotpath-alloc grows the caller's reusable key buffer; amortized to zero once capacity warms up
+		keys = make([]uint64, count)
+	}
 	for i := range keys {
 		if wide {
 			keys[i], err = r.u64()
@@ -511,32 +524,51 @@ func decodeKeys(r *reader, delta, wide bool) ([]uint64, error) {
 	return keys, nil
 }
 
-// Decode implements Codec.
+// Decode implements Codec, returning a freshly allocated gradient. It is
+// a thin wrapper over DecodeInto for callers that want a new result each
+// call; steady-state callers reuse one gradient via DecodeInto and
+// allocate nothing.
 //
 //sketchlint:hotpath
 func (c *SketchML) Decode(data []byte) (*gradient.Sparse, error) {
+	//lint:allow hotpath-alloc Decode's contract is a fresh caller-owned result; the zero-allocation path is DecodeInto
+	g := &gradient.Sparse{}
+	if err := c.DecodeInto(data, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DecodeInto implements DecoderInto: it decodes data into dst, reusing
+// dst's key/value storage and growing it only when capacity falls short.
+// On success dst holds the decoded gradient; on error dst's contents are
+// unspecified. Like Decode it is safe for concurrent use provided each
+// goroutine passes its own dst.
+//
+//sketchlint:hotpath
+func (c *SketchML) DecodeInto(data []byte, dst *gradient.Sparse) error {
 	m := c.met
 	var t0 time.Time
 	if m != nil {
 		t0 = time.Now()
 	}
-	g, err := c.decode(data)
+	err := c.decodeInto(data, dst)
 	if m != nil && err == nil {
 		m.decodeNs.Since(t0)
 		m.decodes.Inc()
 		m.inBytes.Add(int64(len(data)))
 	}
-	return g, err
+	return err
 }
 
-func (c *SketchML) decode(data []byte) (*gradient.Sparse, error) {
-	r := &reader{data: data}
-	if err := checkTag(r, tagSketchML); err != nil {
-		return nil, err
+func (c *SketchML) decodeInto(data []byte, dst *gradient.Sparse) error {
+	r := reader{data: data}
+	if err := checkTag(&r, tagSketchML); err != nil {
+		return err
 	}
 	flags, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	delta := flags&smFlagDeltaKeys != 0
 	quant := flags&smFlagQuantize != 0
@@ -544,54 +576,75 @@ func (c *SketchML) decode(data []byte) (*gradient.Sparse, error) {
 	wide := flags&smFlagWideKeys != 0
 	dim, err := r.u64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	count, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	seed, err := r.u64()
 	if err != nil {
-		return nil, err
+		return err
 	}
+	dst.Dim = dim
+	dst.Reset()
 
 	if !quant {
-		keys, err := decodeKeys(r, delta, wide)
+		keys, err := decodeKeysInto(&r, delta, wide, dst.Keys[:0])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		dst.Keys = keys
 		if uint32(len(keys)) != count {
-			return nil, fmt.Errorf("codec: key count %d, header says %d", len(keys), count)
+			return fmt.Errorf("codec: key count %d, header says %d", len(keys), count)
 		}
-		g := gradient.NewSparse(dim, len(keys))
-		g.Keys = keys
-		g.Values = make([]float64, len(keys))
-		for i := range g.Values {
-			if g.Values[i], err = r.f64(); err != nil {
-				return nil, err
+		if int64(r.remain()) < int64(len(keys))*8 {
+			return errTruncated
+		}
+		vals := dst.Values
+		if cap(vals) >= len(keys) {
+			vals = vals[:len(keys)]
+		} else {
+			//lint:allow hotpath-alloc grows dst's reusable value storage; amortized to zero once capacity warms up
+			vals = make([]float64, len(keys))
+		}
+		dst.Values = vals
+		for i := range vals {
+			if vals[i], err = r.f64(); err != nil {
+				return err
 			}
 		}
-		if err := g.Validate(); err != nil {
-			return nil, fmt.Errorf("codec: corrupt message: %w", err)
+		if err := dst.Validate(); err != nil {
+			return fmt.Errorf("codec: corrupt message: %w", err)
 		}
-		return g, nil
+		return nil
 	}
 
 	if _, err := r.u32(); err != nil { // configured bucket count (informational)
-		return nil, err
+		return err
 	}
-	var lists [][]uint64
-	var vlists [][]float64
-	par := c.parallelism()
-	if par > 1 {
+	// Bound the flat-scratch reservation before trusting the header: every
+	// decoded entry costs at least one wire byte (a delta byte, key byte,
+	// or packed index), so a count beyond the message length is hostile.
+	if int(count) < 0 || int(count) > len(data) {
+		return fmt.Errorf("codec: count %d exceeds message size %d", count, len(data))
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.reset(int(count))
+
+	if par := c.parallelism(); par > 1 {
 		// Locate the pane boundary with a cheap structural scan (headers and
 		// flag streams only — no key or sketch materialization), then decode
 		// both panes concurrently. Each pane writes to its own result slot,
-		// so the merged output is deterministic.
+		// so the merged output is deterministic. The fan-out allocates its
+		// per-pane lists — the price of parallel decode, the same trade
+		// gatherRound makes per round; the serial path below is the pooled
+		// zero-allocation steady state.
 		rest := r.rest()
 		len0, err := skipPane(rest, delta, mm, wide)
 		if err != nil {
-			return nil, fmt.Errorf("codec: pane 0: %w", err)
+			return fmt.Errorf("codec: pane 0: %w", err)
 		}
 		paneData := [2][]byte{rest[:len0], rest[len0:]}
 		var paneLists [2][][]uint64
@@ -601,11 +654,13 @@ func (c *SketchML) decode(data []byte) (*gradient.Sparse, error) {
 		if gpar < 1 {
 			gpar = 1
 		}
+		//lint:allow hotpath-alloc one closure per parallel decode for the pane fan-out; the serial path shares no state and allocates nothing
 		err = forEach(par, 2, func(i int) error {
 			var pt0 time.Time
 			if c.met != nil {
 				pt0 = time.Now()
 			}
+			//lint:allow hotpath-alloc per-pane cursor of the parallel fan-out; the serial path uses a stack reader
 			pr := &reader{data: paneData[i]}
 			pk, pv, perr := decodePane(pr, delta, mm, wide, uint64(i), seed, gpar)
 			if perr != nil {
@@ -627,14 +682,14 @@ func (c *SketchML) decode(data []byte) (*gradient.Sparse, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := r.advance(consumed); err != nil {
-			return nil, err
+			return err
 		}
 		for i := 0; i < 2; i++ {
-			lists = append(lists, paneLists[i]...)
-			vlists = append(vlists, paneVLists[i]...)
+			sc.keyLists = append(sc.keyLists, paneLists[i]...)
+			sc.valLists = append(sc.valLists, paneVLists[i]...)
 		}
 	} else {
 		for paneID := uint64(0); paneID < 2; paneID++ {
@@ -642,32 +697,29 @@ func (c *SketchML) decode(data []byte) (*gradient.Sparse, error) {
 			if c.met != nil {
 				pt0 = time.Now()
 			}
-			pk, pv, err := decodePane(r, delta, mm, wide, paneID, seed, 1)
-			if err != nil {
-				return nil, fmt.Errorf("codec: pane %d: %w", paneID, err)
+			start := len(sc.valLists)
+			if err := c.decodePaneInto(&r, sc, delta, mm, wide, paneID, seed); err != nil {
+				return fmt.Errorf("codec: pane %d: %w", paneID, err)
 			}
 			if c.met != nil {
 				c.met.paneDecodeNs.Since(pt0)
 			}
 			if paneID == 1 {
-				for _, list := range pv {
+				for _, list := range sc.valLists[start:] {
 					for i := range list {
 						list[i] = -list[i]
 					}
 				}
 			}
-			lists = append(lists, pk...)
-			vlists = append(vlists, pv...)
 		}
 	}
-	g, err := mergeSortedLists(dim, lists, vlists)
-	if err != nil {
-		return nil, err
+	if err := mergeSortedListsInto(dst, sc.keyLists, sc.valLists, sc); err != nil {
+		return err
 	}
-	if uint32(len(g.Keys)) != count {
-		return nil, fmt.Errorf("codec: decoded %d entries, header says %d", len(g.Keys), count)
+	if uint32(len(dst.Keys)) != count {
+		return fmt.Errorf("codec: decoded %d entries, header says %d", len(dst.Keys), count)
 	}
-	return g, nil
+	return nil
 }
 
 // skipPane returns the encoded length of one sign pane at the head of data
@@ -696,6 +748,7 @@ func skipPane(data []byte, delta, mm, wide bool) (int, error) {
 	}
 	off += int(nMeans) * 8
 
+	//lint:allow hotpath-alloc one closure per parallel decode's structural pane scan; the serial steady state never calls skipPane
 	skipKeys := func() error {
 		if delta {
 			_, used, err := keycoding.SkipDelta(data[off:])
@@ -753,7 +806,9 @@ func skipPane(data []byte, delta, mm, wide bool) (int, error) {
 // decodePane parses one sign pane, returning per-group ascending key lists
 // and their decoded magnitude lists. par bounds the workers used for value
 // reconstruction across groups (the structural parse is inherently
-// sequential in the byte stream).
+// sequential in the byte stream). It backs the parallel fan-out only,
+// where each pane needs independently owned output; the serial steady
+// state goes through decodePaneInto, which reuses pooled scratch instead.
 func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) ([][]uint64, [][]float64, error) {
 	paneCount, err := r.u32()
 	if err != nil {
@@ -769,6 +824,7 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) (
 	if nMeans == 0 || nMeans > 1<<16 {
 		return nil, nil, fmt.Errorf("implausible means count %d", nMeans)
 	}
+	//lint:allow hotpath-alloc parallel-path pane output; the serial steady state reuses sc.means via decodePaneInto
 	means := make([]float64, nMeans)
 	for i := range means {
 		if means[i], err = r.f64(); err != nil {
@@ -791,6 +847,7 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) (
 		if len(idx) != len(keys) {
 			return nil, nil, fmt.Errorf("%d indexes for %d keys", len(idx), len(keys))
 		}
+		//lint:allow hotpath-alloc parallel-path pane output; the serial steady state draws from sc's flat value store
 		vals := make([]float64, len(keys))
 		for i, id := range idx {
 			if int(id) >= len(means) {
@@ -798,6 +855,7 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) (
 			}
 			vals[i] = means[id]
 		}
+		//lint:allow hotpath-alloc parallel-path list headers; the serial steady state appends to sc.keyLists/sc.valLists
 		return [][]uint64{keys}, [][]float64{vals}, nil
 	}
 
@@ -814,9 +872,9 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) (
 	// fan out across groups. Queries are read-only on the sketch and every
 	// group writes only its own slot, so the result is deterministic.
 	ng := grouped.NumGroups()
-	//lint:allow unbounded-wire-alloc ng counts successfully decoded sketches; minmax.DecodeGrouped caps the header at 1<<16 groups
+	//lint:allow hotpath-alloc,unbounded-wire-alloc ng counts successfully decoded sketches; minmax.DecodeGrouped caps the header at 1<<16 groups, and this parallel-path output is replaced by pooled scratch in the serial decodePaneInto
 	keyLists := make([][]uint64, ng)
-	//lint:allow unbounded-wire-alloc same bound as keyLists above
+	//lint:allow hotpath-alloc,unbounded-wire-alloc same bound and parallel-path rationale as keyLists above
 	valLists := make([][]float64, ng)
 	for grp := 0; grp < ng; grp++ {
 		keys, err := decodeKeys(r, delta, wide)
@@ -832,6 +890,7 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) (
 		// path two allocations it never had before parallelization.
 		for grp := 0; grp < ng; grp++ {
 			keys := keyLists[grp]
+			//lint:allow hotpath-alloc parallel-path group output; the serial steady state draws from sc's flat value store
 			vals := make([]float64, len(keys))
 			for i, k := range keys {
 				b, ok := grouped.Query(grp, k)
@@ -847,8 +906,10 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) (
 		}
 		return keyLists, valLists, nil
 	}
+	//lint:allow hotpath-alloc one closure per parallel pane decode; the serial path duplicates the loop body to stay allocation-free
 	err = forEach(par, ng, func(grp int) error {
 		keys := keyLists[grp]
+		//lint:allow hotpath-alloc parallel-path group output; the serial steady state draws from sc's flat value store
 		vals := make([]float64, len(keys))
 		for i, k := range keys {
 			b, ok := grouped.Query(grp, k)
@@ -869,22 +930,129 @@ func decodePane(r *reader, delta, mm, wide bool, paneID, seed uint64, par int) (
 	return keyLists, valLists, nil
 }
 
-// mergeSortedLists k-way-merges disjoint ascending key lists (with parallel
-// value lists) into one sparse gradient.
-func mergeSortedLists(dim uint64, keyLists [][]uint64, valLists [][]float64) (*gradient.Sparse, error) {
-	total := 0
-	for _, l := range keyLists {
-		total += len(l)
+// decodePaneInto is decodePane's pooled serial twin: it parses one sign
+// pane and appends per-group ascending key lists (windows of sc's flat
+// key store) and their decoded magnitude lists to sc.keyLists and
+// sc.valLists. Once sc's capacities are warm it allocates nothing.
+func (c *SketchML) decodePaneInto(r *reader, sc *decodeScratch, delta, mm, wide bool, paneID, seed uint64) error {
+	paneCount, err := r.u32()
+	if err != nil {
+		return err
 	}
-	g := gradient.NewSparse(dim, total)
-	pos := make([]int, len(keyLists))
+	if paneCount == 0 {
+		return nil
+	}
+	nMeans, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if nMeans == 0 || nMeans > 1<<16 {
+		return fmt.Errorf("implausible means count %d", nMeans)
+	}
+	means := sc.means
+	if cap(means) >= int(nMeans) {
+		means = means[:nMeans]
+	} else {
+		//lint:allow hotpath-alloc grows the reusable means table; nMeans is bounds-checked above and the capacity amortizes to zero once warm
+		means = make([]float64, nMeans)
+	}
+	sc.means = means
+	for i := range means {
+		if means[i], err = r.f64(); err != nil {
+			return err
+		}
+	}
+
+	if !mm {
+		keys, err := decodeKeysInto(r, delta, wide, sc.keyTail())
+		if err != nil {
+			return err
+		}
+		sc.claimKeys(keys)
+		idx, used, err := bitpack.DecodeBlockInto(r.rest(), sc.idx[:0])
+		if err != nil {
+			return err
+		}
+		sc.idx = idx
+		if err := r.advance(used); err != nil {
+			return err
+		}
+		if len(idx) != len(keys) {
+			return fmt.Errorf("%d indexes for %d keys", len(idx), len(keys))
+		}
+		vals := sc.grabVals(len(keys))
+		for i, id := range idx {
+			if int(id) >= len(means) {
+				return fmt.Errorf("index %d out of %d buckets", id, len(means))
+			}
+			vals[i] = means[id]
+		}
+		sc.keyLists = append(sc.keyLists, keys)
+		sc.valLists = append(sc.valLists, vals)
+		return nil
+	}
+
+	paneSeed := hashing.Mix64(paneID, seed)
+	grouped, used, err := minmax.DecodeGroupedReuse(r.rest(), paneSeed, sc.grouped)
+	if err != nil {
+		return err
+	}
+	sc.grouped = grouped
+	if err := r.advance(used); err != nil {
+		return err
+	}
+	// Unlike decodePane, key parsing and sketch queries interleave per
+	// group: each group's sketch is fully decoded before its keys arrive,
+	// and queries are read-only, so the output is identical to the
+	// parse-all-then-query order.
+	ng := grouped.NumGroups()
+	for grp := 0; grp < ng; grp++ {
+		keys, err := decodeKeysInto(r, delta, wide, sc.keyTail())
+		if err != nil {
+			return fmt.Errorf("group %d keys: %w", grp, err)
+		}
+		sc.claimKeys(keys)
+		vals := sc.grabVals(len(keys))
+		for i, k := range keys {
+			//lint:allow wire-taint Query hashes the key through the family (index = hash mod buckets) and clamps the bucket to numBuckets, so wire-derived keys cannot index out of range
+			b, ok := grouped.Query(grp, k)
+			if !ok {
+				return fmt.Errorf("group %d: key %d missing from sketch", grp, k)
+			}
+			if b >= len(means) {
+				b = len(means) - 1
+			}
+			vals[i] = means[b]
+		}
+		sc.keyLists = append(sc.keyLists, keys)
+		sc.valLists = append(sc.valLists, vals)
+	}
+	return nil
+}
+
+// mergeSortedListsInto k-way-merges disjoint ascending key lists (with
+// parallel value lists) into dst, which must already carry its Dim and
+// have been Reset. The merge cursors live in sc so the warm path stays
+// allocation-free.
+func mergeSortedListsInto(dst *gradient.Sparse, keyLists [][]uint64, valLists [][]float64, sc *decodeScratch) error {
+	pos := sc.pos
+	if cap(pos) >= len(keyLists) {
+		pos = pos[:len(keyLists)]
+		for i := range pos {
+			pos[i] = 0
+		}
+	} else {
+		//lint:allow hotpath-alloc grows the reusable merge-cursor scratch, one int per group; amortized to zero once warm
+		pos = make([]int, len(keyLists))
+	}
+	sc.pos = pos
 	for {
 		best := -1
 		var bestKey uint64 = math.MaxUint64
 		for i, l := range keyLists {
 			if pos[i] < len(l) && l[pos[i]] <= bestKey {
 				if l[pos[i]] == bestKey && best >= 0 {
-					return nil, fmt.Errorf("codec: duplicate key %d across lists", bestKey)
+					return fmt.Errorf("codec: duplicate key %d across lists", bestKey)
 				}
 				best = i
 				bestKey = l[pos[i]]
@@ -893,12 +1061,12 @@ func mergeSortedLists(dim uint64, keyLists [][]uint64, valLists [][]float64) (*g
 		if best < 0 {
 			break
 		}
-		g.Keys = append(g.Keys, bestKey)
-		g.Values = append(g.Values, valLists[best][pos[best]])
+		dst.Keys = append(dst.Keys, bestKey)
+		dst.Values = append(dst.Values, valLists[best][pos[best]])
 		pos[best]++
 	}
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("codec: merged gradient invalid: %w", err)
+	if err := dst.Validate(); err != nil {
+		return fmt.Errorf("codec: merged gradient invalid: %w", err)
 	}
-	return g, nil
+	return nil
 }

@@ -62,15 +62,38 @@ func NewFamily(n int, buckets int, masterSeed uint64) *Family {
 	if buckets <= 0 {
 		invariant.Fail("hashing: bucket count must be positive")
 	}
-	seeds := make([]uint64, n)
+	//lint:allow hotpath-alloc constructor path; warm decoders reuse an existing family via Reshape instead
+	f := &Family{}
+	f.Reshape(n, buckets, masterSeed)
+	return f
+}
+
+// Reshape reconfigures the family in place to n hash functions into
+// [0, buckets), re-deriving the row seeds from masterSeed exactly as
+// NewFamily does. The seed slice is reused whenever its capacity allows,
+// so decoders that rebuild a family per message can do so without
+// allocating once warm.
+func (f *Family) Reshape(n int, buckets int, masterSeed uint64) {
+	if n <= 0 {
+		invariant.Fail("hashing: family size must be positive")
+	}
+	if buckets <= 0 {
+		invariant.Fail("hashing: bucket count must be positive")
+	}
+	if cap(f.seeds) >= n {
+		f.seeds = f.seeds[:n]
+	} else {
+		//lint:allow hotpath-alloc grows reusable seed storage; amortized to zero once the decoder's family capacity warms up
+		f.seeds = make([]uint64, n)
+	}
 	// Derive row seeds from the master seed with SplitMix64 so that any
 	// master seed yields well-separated row seeds.
 	s := masterSeed
-	for i := range seeds {
+	for i := range f.seeds {
 		s += 0x9e3779b97f4a7c15 // golden-ratio increment
-		seeds[i] = Mix64(s, 0)
+		f.seeds[i] = Mix64(s, 0)
 	}
-	return &Family{seeds: seeds, buckets: uint64(buckets)}
+	f.buckets = uint64(buckets)
 }
 
 // Size returns the number of hash functions in the family.

@@ -99,13 +99,22 @@ func AppendDelta(dst []byte, keys []uint64) ([]byte, error) {
 // DecodeDelta parses keys encoded by AppendDelta, returning the keys and
 // bytes consumed.
 func DecodeDelta(data []byte) ([]uint64, int, error) {
+	return DecodeDeltaInto(data, nil)
+}
+
+// DecodeDeltaInto is DecodeDelta with a caller-owned destination: keys
+// are decoded into dst's storage, which is reused when its capacity
+// covers the wire count and grown otherwise, and the (possibly regrown)
+// slice is returned. Steady-state decoders that keep dst across messages
+// therefore allocate nothing once capacity warms up.
+func DecodeDeltaInto(data []byte, dst []uint64) ([]uint64, int, error) {
 	if len(data) < 4 {
 		return nil, 0, errors.New("keycoding: truncated count")
 	}
 	count := int(binary.LittleEndian.Uint32(data))
 	off := 4
 	if count == 0 {
-		return nil, off, nil
+		return dst[:0], off, nil
 	}
 	if len(data) < off+8 {
 		return nil, 0, errors.New("keycoding: truncated first key")
@@ -115,7 +124,13 @@ func DecodeDelta(data []byte) ([]uint64, int, error) {
 	if minNeed := off + 8 + (count - 1) + ((count-1)*flagBits+7)/8; count < 0 || len(data) < minNeed {
 		return nil, 0, fmt.Errorf("keycoding: count %d exceeds available bytes", count)
 	}
-	keys := make([]uint64, count)
+	keys := dst
+	if cap(keys) >= count {
+		keys = keys[:count]
+	} else {
+		//lint:allow hotpath-alloc grows the caller's reusable key buffer; amortized to zero once capacity warms up
+		keys = make([]uint64, count)
+	}
 	keys[0] = binary.LittleEndian.Uint64(data[off:])
 	off += 8
 	n := count - 1

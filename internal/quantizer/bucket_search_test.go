@@ -1,0 +1,119 @@
+package quantizer
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referenceBucket is the original sort.SearchFloat64s implementation of
+// Bucket, kept verbatim as the oracle: the branchless fixed-stride search
+// must be bit-identical to it on every input, or quantized wire bytes
+// would change between releases.
+func referenceBucket(z *Quantile, v float64) int {
+	i := sort.SearchFloat64s(z.splits, v)
+	if i == len(z.splits) {
+		return len(z.means) - 1
+	}
+	if z.splits[i] == v { //lint:allow float-equality oracle mirrors the shipped tie-break
+		if i == len(z.means) {
+			return len(z.means) - 1
+		}
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// TestBucketMatchesSearchFloat64s sweeps random quantizers (including ones
+// with duplicated splits, which real GK output produces on heavy ties) and
+// probes exact splits, midpoints, out-of-range values, infinities, and NaN.
+func TestBucketMatchesSearchFloat64s(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		q := 1 + rng.Intn(64)
+		splits := make([]float64, q+1)
+		x := rng.NormFloat64()
+		for i := range splits {
+			splits[i] = x
+			if rng.Intn(4) != 0 { // leave ~1/4 of steps as duplicates
+				x += rng.ExpFloat64() * 0.1
+			}
+		}
+		z, err := NewQuantileFromSplits(splits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes := []float64{
+			splits[0] - 1, splits[q] + 1,
+			math.Inf(-1), math.Inf(1), math.NaN(),
+		}
+		for _, s := range splits {
+			probes = append(probes, s, math.Nextafter(s, math.Inf(-1)), math.Nextafter(s, math.Inf(1)))
+		}
+		for i := 0; i < 100; i++ {
+			probes = append(probes, splits[0]+rng.Float64()*(splits[q]-splits[0]))
+		}
+		for _, v := range probes {
+			if got, want := z.Bucket(v), referenceBucket(z, v); got != want {
+				t.Fatalf("trial %d: Bucket(%v) = %d, reference = %d (splits %v)",
+					trial, v, got, want, splits)
+			}
+		}
+	}
+}
+
+// TestBucketDegenerateQuantizers is the regression for the empty/degenerate
+// split cases: a zero-value Quantile used to return bucket -1 (and Mean
+// panicked); now both clamp to the zero bucket / zero value. Constructors
+// keep rejecting 0- and 1-split inputs, and the smallest legal quantizer
+// (one bucket from two splits) stays total over all inputs.
+func TestBucketDegenerateQuantizers(t *testing.T) {
+	var zero Quantile
+	for _, v := range []float64{-1, 0, 1, math.Inf(1), math.NaN()} {
+		if got := zero.Bucket(v); got != 0 {
+			t.Fatalf("zero-value Bucket(%v) = %d, want clamped 0", v, got)
+		}
+	}
+	if got := zero.Mean(0); got != 0 {
+		t.Fatalf("zero-value Mean(0) = %v, want 0", got)
+	}
+	if got := zero.Mean(-1); got != 0 {
+		t.Fatalf("zero-value Mean(-1) = %v, want 0", got)
+	}
+
+	if _, err := NewQuantileFromSplits(nil); err == nil {
+		t.Fatal("0-split construction accepted")
+	}
+	if _, err := NewQuantileFromSplits([]float64{1}); err == nil {
+		t.Fatal("1-split construction accepted")
+	}
+
+	one, err := NewQuantileFromSplits([]float64{-0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-2, -0.5, 0, 0.5, 2, math.NaN()} {
+		if got := one.Bucket(v); got != 0 {
+			t.Fatalf("one-bucket Bucket(%v) = %d, want 0", v, got)
+		}
+		if got, want := one.Encode(v), 0.0; got != want {
+			t.Fatalf("one-bucket Encode(%v) = %v, want %v", v, got, want)
+		}
+	}
+
+	// All-equal splits: every value must clamp into [0, q) without panicking.
+	flat, err := NewQuantileFromSplits([]float64{3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{2, 3, 4, math.NaN()} {
+		got, want := flat.Bucket(v), referenceBucket(flat, v)
+		if got != want || got < 0 || got >= flat.NumBuckets() {
+			t.Fatalf("flat Bucket(%v) = %d, reference %d", v, got, want)
+		}
+	}
+}

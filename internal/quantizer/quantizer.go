@@ -21,7 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 
 	"sketchml/internal/sketch/quantile"
 )
@@ -115,30 +115,56 @@ func (z *Quantile) Means() []float64 { return z.means }
 
 // Bucket returns the bucket index for v. Values below the first split clamp
 // to bucket 0 and values above the last split clamp to the final bucket
-// (they can occur because sketch splits are approximate).
+// (they can occur because sketch splits are approximate). A quantizer with
+// no buckets — reachable only through a zero-value Quantile, which every
+// constructor rejects — clamps to 0 instead of indexing out of range.
+//
+// The search is a fixed-stride binary search: the stride schedule depends
+// only on len(splits) and each probe is a conditional-move update, so the
+// encode hot loop pays neither the closure of sort.SearchFloat64s nor
+// data-dependent branch mispredictions. The result is bit-identical to the
+// sort.SearchFloat64s implementation it replaced, including NaN (all
+// comparisons false, so v clamps to the last bucket exactly as before).
 func (z *Quantile) Bucket(v float64) int {
-	// Find the first split strictly greater than v; the bucket is one less.
-	i := sort.SearchFloat64s(z.splits, v)
-	// SearchFloat64s returns the first index with splits[i] >= v.
-	if i == len(z.splits) {
-		return len(z.means) - 1
-	}
-	if z.splits[i] == v { //lint:allow float-equality exact split boundary tie-break
-		// v sits exactly on a split: it belongs to the bucket starting at v,
-		// except at the very top where it falls into the last bucket.
-		if i == len(z.means) {
-			return len(z.means) - 1
-		}
-		return i
-	}
-	if i == 0 {
+	if len(z.means) == 0 {
 		return 0
 	}
-	return i - 1
+	// Largest i with !(splits[i] >= v), probed at power-of-two strides;
+	// lb is then the first index with splits[lb] >= v — the same lower
+	// bound SearchFloat64s computes (the negated predicate keeps NaN on
+	// the same side it lands there).
+	n := len(z.splits)
+	i := -1
+	for step := 1 << (bits.Len(uint(n)) - 1); step > 0; step >>= 1 {
+		if j := i + step; j < n && !(z.splits[j] >= v) {
+			i = j
+		}
+	}
+	lb := i + 1
+	if lb == n {
+		return len(z.means) - 1
+	}
+	if z.splits[lb] == v { //lint:allow float-equality exact split boundary tie-break
+		// v sits exactly on a split: it belongs to the bucket starting at v,
+		// except at the very top where it falls into the last bucket.
+		if lb == len(z.means) {
+			return len(z.means) - 1
+		}
+		return lb
+	}
+	if lb == 0 {
+		return 0
+	}
+	return lb - 1
 }
 
 // Mean returns the decoded value for bucket index i (clamped to range).
+// A bucketless zero-value Quantile decodes everything to 0, mirroring
+// Bucket's clamp.
 func (z *Quantile) Mean(i int) float64 {
+	if len(z.means) == 0 {
+		return 0
+	}
 	if i < 0 {
 		i = 0
 	}

@@ -49,20 +49,36 @@ type Sketch struct {
 
 // New creates a MinMaxSketch with the given shape. All bins start Empty.
 func New(rows, cols int, seed uint64) *Sketch {
+	s := &Sketch{}
+	s.Reshape(rows, cols, seed)
+	return s
+}
+
+// Reshape reconfigures the sketch in place to rows × cols bins under seed,
+// emptying every bin. Cell storage and the hash family are reused whenever
+// capacity allows, so a decoder that rebuilds a sketch per message does not
+// allocate once warm.
+func (s *Sketch) Reshape(rows, cols int, seed uint64) {
 	if rows <= 0 || cols <= 0 {
 		invariant.Failf("minmax: invalid dimensions %dx%d", rows, cols)
 	}
-	s := &Sketch{
-		rows:   rows,
-		cols:   cols,
-		seed:   seed,
-		cells:  make([]uint16, rows*cols),
-		family: hashing.NewFamily(rows, cols, seed),
+	n := rows * cols
+	if cap(s.cells) >= n {
+		s.cells = s.cells[:n]
+	} else {
+		//lint:allow hotpath-alloc grows reusable cell storage; amortized to zero once the decoder's sketch capacity warms up
+		s.cells = make([]uint16, n)
 	}
+	if s.family != nil {
+		s.family.Reshape(rows, cols, seed)
+	} else {
+		s.family = hashing.NewFamily(rows, cols, seed)
+	}
+	s.rows, s.cols, s.seed = rows, cols, seed
+	s.inserted = 0
 	for i := range s.cells {
 		s.cells[i] = Empty
 	}
-	return s
 }
 
 // Rows returns the number of hash tables (the paper's s).
@@ -168,6 +184,15 @@ func (s *Sketch) AppendBinary(dst []byte, maxIdx int) ([]byte, error) {
 // not part of the wire format). It returns the decoded sketch and the
 // number of bytes consumed.
 func DecodeBinary(data []byte, seed uint64) (*Sketch, int, error) {
+	return DecodeBinaryReuse(data, seed, nil)
+}
+
+// DecodeBinaryReuse is DecodeBinary with a caller-owned destination: when
+// s is non-nil it is reshaped in place and returned, reusing its cell
+// storage and hash family, so steady-state decoding allocates nothing
+// once the sketch capacity matches the wire shape. A nil s allocates a
+// fresh sketch, making the call equivalent to DecodeBinary.
+func DecodeBinaryReuse(data []byte, seed uint64, s *Sketch) (*Sketch, int, error) {
 	if len(data) < 13 {
 		return nil, 0, errors.New("minmax: truncated header")
 	}
@@ -184,7 +209,11 @@ func DecodeBinary(data []byte, seed uint64) (*Sketch, int, error) {
 	if len(data) < need {
 		return nil, 0, fmt.Errorf("minmax: need %d bytes, have %d", need, len(data))
 	}
-	s := New(rows, cols, seed)
+	if s == nil {
+		//lint:allow hotpath-alloc fresh-destination fallback; reuse callers pass a pooled sketch
+		s = &Sketch{}
+	}
+	s.Reshape(rows, cols, seed)
 	body := data[13:need]
 	for i := range s.cells {
 		if w == 1 {
@@ -306,6 +335,15 @@ func (g *Grouped) AppendBinary(dst []byte) ([]byte, error) {
 // DecodeGrouped parses a Grouped serialized by AppendBinary. Group seeds
 // are re-derived from seed exactly as NewGrouped does.
 func DecodeGrouped(data []byte, seed uint64) (*Grouped, int, error) {
+	return DecodeGroupedReuse(data, seed, nil)
+}
+
+// DecodeGroupedReuse is DecodeGrouped with a caller-owned destination:
+// when g is non-nil it is rebuilt in place and returned, reusing its
+// group slice and every group sketch's storage, so steady-state decoding
+// allocates nothing once capacities match the wire shape. A nil g
+// allocates fresh, making the call equivalent to DecodeGrouped.
+func DecodeGroupedReuse(data []byte, seed uint64, g *Grouped) (*Grouped, int, error) {
 	if len(data) < 12 {
 		return nil, 0, errors.New("minmax: truncated grouped header")
 	}
@@ -315,14 +353,25 @@ func DecodeGrouped(data []byte, seed uint64) (*Grouped, int, error) {
 	if n <= 0 || n > 1<<16 || numBuckets <= 0 || bpg <= 0 {
 		return nil, 0, fmt.Errorf("minmax: implausible grouped header n=%d q=%d bpg=%d", n, numBuckets, bpg)
 	}
-	g := &Grouped{
-		groups:          make([]*Sketch, n),
-		numBuckets:      numBuckets,
-		bucketsPerGroup: bpg,
+	if g == nil {
+		//lint:allow hotpath-alloc fresh-destination fallback; reuse callers pass a pooled grouped sketch
+		g = &Grouped{}
 	}
+	if cap(g.groups) >= n {
+		// Reslicing up to cap revives sketch pointers parked beyond the
+		// previous length, so shrink-then-grow cycles keep their storage.
+		g.groups = g.groups[:n]
+	} else {
+		old := g.groups[:cap(g.groups)]
+		//lint:allow hotpath-alloc,unbounded-wire-alloc n is bounds-checked (≤ 1<<16) above; grows reusable group storage, amortized to zero once warm
+		g.groups = make([]*Sketch, n)
+		copy(g.groups, old)
+	}
+	g.numBuckets = numBuckets
+	g.bucketsPerGroup = bpg
 	off := 12
 	for i := 0; i < n; i++ {
-		s, used, err := DecodeBinary(data[off:], hashing.Mix64(uint64(i), seed))
+		s, used, err := DecodeBinaryReuse(data[off:], hashing.Mix64(uint64(i), seed), g.groups[i])
 		if err != nil {
 			return nil, 0, fmt.Errorf("minmax: group %d: %w", i, err)
 		}

@@ -59,7 +59,7 @@ func TestGatherRoundDecodeFailureMidGather(t *testing.T) {
 	}
 	acc := gradient.NewAccumulator(gatherDim)
 	var decode time.Duration
-	err := gatherRound(cfg, 0, driverSide, make([]int, workers), acc, &EpochStats{}, &decode)
+	err := gatherRound(cfg, 0, driverSide, make([]int, workers), make([]gradient.Sparse, workers), acc, &EpochStats{}, &decode)
 	if err == nil {
 		t.Fatal("gatherRound accepted a garbage message")
 	}
@@ -86,7 +86,7 @@ func TestGatherRoundRecvFailureMidGather(t *testing.T) {
 	}
 	acc := gradient.NewAccumulator(gatherDim)
 	var decode time.Duration
-	err := gatherRound(cfg, 0, driverSide, make([]int, workers), acc, &EpochStats{}, &decode)
+	err := gatherRound(cfg, 0, driverSide, make([]int, workers), make([]gradient.Sparse, workers), acc, &EpochStats{}, &decode)
 	if err == nil {
 		t.Fatal("gatherRound succeeded with a dead worker connection")
 	}
@@ -108,7 +108,7 @@ func TestGatherRoundAllHealthy(t *testing.T) {
 	}
 	acc := gradient.NewAccumulator(gatherDim)
 	var decode time.Duration
-	if err := gatherRound(cfg, 0, driverSide, make([]int, workers), acc, &EpochStats{}, &decode); err != nil {
+	if err := gatherRound(cfg, 0, driverSide, make([]int, workers), make([]gradient.Sparse, workers), acc, &EpochStats{}, &decode); err != nil {
 		t.Fatal(err)
 	}
 	if decode <= 0 {

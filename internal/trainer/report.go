@@ -26,6 +26,11 @@ type trainerMetrics struct {
 	staleFrames    *obs.Counter
 	strikes        *obs.Counter
 	degradedRounds *obs.Counter
+
+	// heapAllocs records the process allocation count across the training
+	// loop (see the end of Run) so run reports expose steady-state
+	// allocation burn, not just microbenchmarks.
+	heapAllocs *obs.Counter
 }
 
 func newTrainerMetrics(reg *obs.Registry) trainerMetrics {
@@ -42,6 +47,7 @@ func newTrainerMetrics(reg *obs.Registry) trainerMetrics {
 		staleFrames:    reg.Counter("trainer.stale_frames"),
 		strikes:        reg.Counter("trainer.strikes"),
 		degradedRounds: reg.Counter("trainer.degraded_rounds"),
+		heapAllocs:     reg.Counter(obs.CounterTrainerHeapAllocs),
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -475,6 +476,16 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	// strikes[w] counts worker w's consecutive missed rounds (tolerant mode
 	// only); any round with its gradient present resets it.
 	strikes := make([]int, cfg.Workers)
+	// decodeReuse[w] is worker w's persistent decode target (see
+	// gatherRound); aggScratch is the driver replica's. Allocated once, so
+	// every round after the first decodes into warm buffers.
+	decodeReuse := make([]gradient.Sparse, cfg.Workers)
+	var aggScratch gradient.Sparse
+	bcast := newBroadcaster(cfg.Workers)
+	var memBefore runtime.MemStats
+	if cfg.Metrics != nil {
+		runtime.ReadMemStats(&memBefore)
+	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var es EpochStats
@@ -494,7 +505,7 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			// rather than wall time.
 			globalRound := epoch*roundsPerEpoch + round
 			tGather := time.Now()
-			if err := gatherRound(cfg, globalRound, driverSide, strikes, acc, &es, &driverDecode); err != nil {
+			if err := gatherRound(cfg, globalRound, driverSide, strikes, decodeReuse, acc, &es, &driverDecode); err != nil {
 				return nil, err
 			}
 			agg := acc.Sum()
@@ -514,20 +525,14 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trainer: encode aggregate: %w", err)
 			}
-			bmsg := appendFrame(make([]byte, 0, frameHeaderLen+len(msg)), frameGrad, globalRound, msg)
-			for w := 0; w < cfg.Workers; w++ {
-				if err := driverSide[w].Send(bmsg); err != nil {
-					if cfg.tolerant() {
-						continue
-					}
-					return nil, fmt.Errorf("trainer: send to worker %d: %w", w, err)
-				}
+			if err := bcast.broadcast(driverSide, globalRound, msg, cfg.tolerant()); err != nil {
+				return nil, err
 			}
 
 			// The driver replica applies the same decoded update the
 			// workers will see, keeping every replica identical.
 			t0 = time.Now()
-			applied, err := cfg.Codec.Decode(msg)
+			applied, err := codec.DecodeReuse(cfg.Codec, msg, &aggScratch)
 			driverDecode += time.Since(t0)
 			if err != nil {
 				return nil, err
@@ -567,6 +572,15 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		// non-training phases).
 		es.TestLoss, es.Accuracy = cfg.Trainable.Evaluate(theta, test)
 		res.Epochs = append(res.Epochs, es)
+	}
+	if cfg.Metrics != nil {
+		// Process-wide allocation count across the training loop (all
+		// parties — the workers are goroutines here). The report surfaces it
+		// so allocation regressions on the steady-state path show up in run
+		// snapshots, not just in microbenchmarks.
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		tm.heapAllocs.Add(int64(memAfter.Mallocs - memBefore.Mallocs))
 	}
 
 	// Collect worker reports: one final frameReport per worker. In tolerant
@@ -656,7 +670,12 @@ type gatherOutcome struct {
 // corrupt frames are counted, discarded, and the wait continues on the
 // remaining budget; deadline expiry or a dead link returns an empty outcome
 // (a miss), never an abort.
-func recvGradient(cfg Config, conn cluster.Conn, w, round int) gatherOutcome {
+//
+// dst is this worker's reusable decode target: the gradient is decoded
+// into it (codec.DecodeReuse) and the returned outcome's g aliases it, so
+// the steady-state gather allocates no gradients. The alias is only valid
+// until the worker's next receive.
+func recvGradient(cfg Config, conn cluster.Conn, w, round int, dst *gradient.Sparse) gatherOutcome {
 	var out gatherOutcome
 	var deadline time.Time
 	if cfg.tolerant() {
@@ -699,7 +718,7 @@ func recvGradient(cfg Config, conn cluster.Conn, w, round int) gatherOutcome {
 			continue
 		}
 		t0 := time.Now()
-		g, err := cfg.Codec.Decode(payload)
+		g, err := codec.DecodeReuse(cfg.Codec, payload, dst)
 		out.decodeNs += time.Since(t0).Nanoseconds()
 		if err != nil {
 			if !cfg.tolerant() {
@@ -722,6 +741,10 @@ func recvGradient(cfg Config, conn cluster.Conn, w, round int) gatherOutcome {
 // parallelism. Accumulator adds always happen sequentially in worker order,
 // keeping the float summation (and thus training) deterministic.
 //
+// reuse holds one persistent decode target per worker: worker w's gradient
+// is decoded into reuse[w] every round, so after warm-up the gather
+// allocates nothing per round beyond the bookkeeping slices below.
+//
 // Strict mode (RoundDeadline == 0) requires all W gradients and any fault
 // aborts. Tolerant mode aggregates whatever arrived by the deadline,
 // weighting each of the m arrivals 1/m so the aggregate stays an unbiased
@@ -730,12 +753,12 @@ func recvGradient(cfg Config, conn cluster.Conn, w, round int) gatherOutcome {
 // consecutive misses.
 //
 //sketchlint:hotpath
-func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, strikes []int, acc *gradient.Accumulator, es *EpochStats, driverDecode *time.Duration) error {
+func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, strikes []int, reuse []gradient.Sparse, acc *gradient.Accumulator, es *EpochStats, driverDecode *time.Duration) error {
 	//lint:allow hotpath-alloc one O(workers) slice per round, not per byte; a round moves megabytes
 	outs := make([]gatherOutcome, cfg.Workers)
 	if cfg.Workers == 1 {
 		//lint:allow hotpath-alloc recvGradient allocates only on fault paths (decode error, strict-mode abort); the clean-path receive is allocation-free
-		outs[0] = recvGradient(cfg, driverSide[0], 0, round)
+		outs[0] = recvGradient(cfg, driverSide[0], 0, round, &reuse[0])
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(cfg.Workers)
@@ -743,7 +766,7 @@ func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, stri
 			//lint:allow hotpath-alloc one goroutine closure per worker per round; the fan-out is the parallel-decode design
 			go func(w int) {
 				defer wg.Done()
-				outs[w] = recvGradient(cfg, driverSide[w], w, round)
+				outs[w] = recvGradient(cfg, driverSide[w], w, round, &reuse[w])
 			}(w)
 		}
 		wg.Wait()
@@ -807,6 +830,61 @@ func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, stri
 	return nil
 }
 
+// broadcastQueueCap bounds the per-worker backlog of broadcast frames kept
+// after a transiently refused send. A link that stays dead (closed pair,
+// poisoned TCP stream) keeps refusing, so the backlog never grows past the
+// cap; a link that heals gets the whole backlog plus the current frame in
+// one coalesced batch.
+const broadcastQueueCap = 4
+
+// broadcaster owns the driver's per-round fan-out buffers: one reusable
+// frame buffer shared by every link, a flush scratch, and a small
+// per-worker queue of frames whose send failed in tolerant mode. Sharing
+// the frame buffer is safe because every transport finishes with the bytes
+// before Send/SendBatch returns: memConn copies, TCP completes its
+// vectored write, and the chaos wrapper copies before corrupting.
+type broadcaster struct {
+	frame   []byte     // current round's envelope+payload, rebuilt in place
+	batch   [][]byte   // flush scratch: queued frames + the current one
+	pending [][][]byte // pending[w]: copied frames worker w's link refused
+}
+
+func newBroadcaster(workers int) *broadcaster {
+	return &broadcaster{pending: make([][][]byte, workers)}
+}
+
+// broadcast fans one round's encoded aggregate out to every worker through
+// cluster.SendBatch, so each link costs one coalesced write (one syscall on
+// TCP) regardless of how many frames are queued for it. In strict mode a
+// send error aborts; in tolerant mode the frame is queued (bounded,
+// dropping oldest) and retried with the next round's flush — a worker
+// behind a healed link sees the missed rounds in order and either applies
+// them or skips them as stale, exactly as it handles any other re-delivery.
+func (b *broadcaster) broadcast(conns []*cluster.CountingConn, round int, payload []byte, tolerant bool) error {
+	b.frame = appendFrame(b.frame[:0], frameGrad, round, payload)
+	for w := range conns {
+		b.batch = append(b.batch[:0], b.pending[w]...)
+		b.batch = append(b.batch, b.frame)
+		err := cluster.SendBatch(conns[w], b.batch)
+		if err == nil {
+			b.pending[w] = b.pending[w][:0]
+			continue
+		}
+		if !tolerant {
+			return fmt.Errorf("trainer: send to worker %d: %w", w, err)
+		}
+		// The shared frame buffer is rewritten next round, so the retained
+		// copy must own its bytes. Partially delivered batches are retained
+		// whole: re-delivered frames are skipped as stale duplicates.
+		if len(b.pending[w]) >= broadcastQueueCap {
+			n := copy(b.pending[w], b.pending[w][1:])
+			b.pending[w] = b.pending[w][:n]
+		}
+		b.pending[w] = append(b.pending[w], append([]byte(nil), b.frame...))
+	}
+	return nil
+}
+
 // collectReport receives worker w's end-of-run report, skipping any stale
 // gradient frames still queued ahead of it. In tolerant mode the whole
 // collection is bounded by cfg.RoundDeadline.
@@ -856,6 +934,13 @@ func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch
 	batcher := dataset.NewBatcher(shard, localBatch, seed)
 	var rep workerReport
 	var buf []*dataset.Instance
+	// sendBuf and aggScratch are the worker's reusable frame and decode
+	// buffers: after warm-up the steady-state round neither allocates the
+	// outbound envelope nor a fresh aggregate (every transport is done with
+	// sendBuf when Send returns, and the decoded aggregate is consumed
+	// within the round).
+	var sendBuf []byte
+	var aggScratch gradient.Sparse
 	// misses counts consecutive broadcast waits that expired; it is the
 	// worker-side liveness bound (the driver may legitimately go quiet for
 	// a while during an outage on this link, but not forever).
@@ -874,7 +959,8 @@ func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch
 		if err != nil {
 			return fmt.Errorf("trainer: worker encode: %w", err)
 		}
-		if err := conn.Send(appendFrame(make([]byte, 0, frameHeaderLen+len(msg)), frameGrad, round, msg)); err != nil {
+		sendBuf = appendFrame(sendBuf[:0], frameGrad, round, msg)
+		if err := conn.Send(sendBuf); err != nil {
 			return fmt.Errorf("trainer: worker send: %w", err)
 		}
 
@@ -922,7 +1008,7 @@ func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch
 				round = tag
 			}
 			t0 = time.Now()
-			agg, err = cfg.Codec.Decode(payload)
+			agg, err = codec.DecodeReuse(cfg.Codec, payload, &aggScratch)
 			rep.decodeNs += time.Since(t0).Nanoseconds()
 			if err != nil {
 				if !cfg.tolerant() {
