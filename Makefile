@@ -40,11 +40,13 @@ BENCH_CEILINGS ?= BENCH_ceilings.json
 # uses the test's built-in seed, so the matrix exercises a second schedule.
 CHAOS_MATRIX_SEED ?= 7
 # sketchlint inputs: the committed suppression baseline (accepted findings
-# with documented reasons; stale entries fail the run) and the summary
-# cache that keeps warm runs fast (machine-local, gitignored, safe to
-# delete).
-LINT_BASELINE ?= lint.baseline.json
-LINT_CACHE    ?= .sketchlint-cache.json
+# with documented reasons; stale entries fail the run), the summary cache
+# that keeps warm runs fast, and the compiler-oracle cache that keeps the
+# -gcflags builds from rerunning when nothing changed (both machine-local,
+# gitignored, safe to delete).
+LINT_BASELINE     ?= lint.baseline.json
+LINT_CACHE        ?= .sketchlint-cache.json
+LINT_ORACLE_CACHE ?= .sketchlint-oracle-cache.json
 
 # Native fuzz targets, as "package:Target" pairs. Go's fuzzer runs one
 # target per invocation, so the fuzz rule loops.
@@ -53,7 +55,7 @@ FUZZ_TARGETS := \
 	./internal/keycoding:FuzzDeltaRoundTrip \
 	./internal/keycoding:FuzzDecodeDeltaRobust
 
-.PHONY: all build fmt vet lint lint-stats test race race-matrix chaos-soak fuzz fuzz-smoke bench bench-check verify clean
+.PHONY: all build fmt vet lint lint-stats lint-self test race race-matrix chaos-soak fuzz fuzz-smoke bench bench-check verify clean
 
 all: verify
 
@@ -74,13 +76,22 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/sketchlint -baseline $(LINT_BASELINE) -summary-cache $(LINT_CACHE) ./...
+	$(GO) run ./cmd/sketchlint -baseline $(LINT_BASELINE) -summary-cache $(LINT_CACHE) \
+		-oracle -oracle-cache $(LINT_ORACLE_CACHE) ./...
 
 # lint-stats is the same gate as `lint`, just louder: a per-analyzer table
-# of finding counts and wall times, plus summary-build time and cache
-# hit/miss counts, so analyzer cost regressions are visible in review.
+# of finding counts and wall times, plus summary-build, cache hit/miss,
+# and oracle (warm/cold, site counts, build time) lines, so analyzer cost
+# regressions are visible in review.
 lint-stats:
-	$(GO) run ./cmd/sketchlint -baseline $(LINT_BASELINE) -summary-cache $(LINT_CACHE) -stats ./...
+	$(GO) run ./cmd/sketchlint -baseline $(LINT_BASELINE) -summary-cache $(LINT_CACHE) \
+		-oracle -oracle-cache $(LINT_ORACLE_CACHE) -stats ./...
+
+# lint-self points the analyzers at their own implementation with no
+# baseline at all: the linter's source must be clean under its own rules,
+# or any inline suppression it needs must justify itself in-place.
+lint-self:
+	$(GO) run ./cmd/sketchlint ./internal/lint ./cmd/sketchlint
 
 test:
 	$(GO) test ./...
@@ -96,6 +107,16 @@ race-matrix:
 				$(GO) test -race -count=1 $(MATRIX_PKGS); \
 		done; \
 	done
+	@set -e; ncpu=$$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN); \
+	if [ "$$ncpu" -ge 4 ]; then \
+		for par in $(MATRIX_PARALLELISM); do \
+			echo "race-matrix: GOMAXPROCS=$$ncpu (NumCPU) SKETCHML_PARALLELISM=$$par"; \
+			GOMAXPROCS=$$ncpu SKETCHML_PARALLELISM=$$par \
+				$(GO) test -race -count=1 $(MATRIX_PKGS); \
+		done; \
+	else \
+		echo "race-matrix: NumCPU column skipped ($$ncpu CPUs; the fixed 1/2/8 sweep already covers it)"; \
+	fi
 	@echo "race-matrix: chaos point GOMAXPROCS=4 CHAOS_SEED=$(CHAOS_MATRIX_SEED)"
 	GOMAXPROCS=4 SKETCHML_CHAOS_SOAK=1 SKETCHML_CHAOS_SEED=$(CHAOS_MATRIX_SEED) \
 		$(GO) test -race -count=1 -run TestChaosSoak ./internal/trainer
@@ -143,7 +164,7 @@ bench-check:
 	@$(GO) run ./cmd/benchjson -compare BENCH_codec.json -threshold $(BENCH_TOLERANCE) -ceilings $(BENCH_CEILINGS) $(BENCH_COMPARE_FLAGS) < bench.out; \
 		rc=$$?; rm -f bench.out; exit $$rc
 
-verify: build fmt vet lint test race-matrix chaos-soak fuzz-smoke
+verify: build fmt vet lint lint-self test race-matrix chaos-soak fuzz-smoke
 	@echo "verify: all gates passed"
 
 clean:

@@ -1,13 +1,18 @@
 // Command sketchlint runs the project's static-analysis suite
-// (internal/lint) over the module: fourteen analyzers encoding SketchML's
+// (internal/lint) over the module: eighteen analyzers encoding SketchML's
 // correctness invariants — the v1 serialization/determinism checks
 // (unseeded-hash, float-equality, unchecked-error, wire-endianness,
 // panic-in-library), the v2 concurrency/wire-safety checks (pool-escape,
 // lock-held-io, goroutine-join, waitgroup-misuse, unbounded-wire-alloc),
-// and the v3 interprocedural checks built on the module summary table
-// (wire-taint, hotpath-alloc, wire-determinism, atomic-mix). See
-// DESIGN.md ("Verification & static analysis" and "Interprocedural
-// analysis") for what each one enforces and why.
+// the v3 interprocedural checks built on the module summary table
+// (wire-taint, hotpath-alloc, wire-determinism, atomic-mix), and the v4
+// concurrency-safety suite (lock-order, shared-write, chan-discipline,
+// pragma). Full-module runs additionally cross-check every //lint:allow
+// directive (stale-allow), and -oracle adds the compiler-oracle findings
+// (escape-oracle, bce-hotpath) parsed from `go build -gcflags` output.
+// See DESIGN.md ("Verification & static analysis", "Interprocedural
+// analysis", and "Concurrency analysis & compiler oracle") for what each
+// one enforces and why.
 //
 // Usage:
 //
@@ -34,12 +39,22 @@
 //	                 (existing entries keep their documented reasons)
 //	-summary-cache f persist interprocedural summaries between runs,
 //	                 keyed by package content hash
-//	-stats           print per-analyzer findings/timings and cache stats
+//	-oracle          cross-check the model against the compiler: parse
+//	                 escape-analysis (-m=2) and bounds-check (check_bce)
+//	                 diagnostics and fail on hotpath model drift
+//	-oracle-cache f  persist parsed compiler output between runs, keyed
+//	                 by Go version and module content hash
+//	-stats           print per-analyzer findings/timings, cache stats,
+//	                 and (with -oracle) an "oracle: warm|cold" line
 //
 // Findings can be suppressed — sparingly, with a justification — by a
 // comment on the offending line or the line above:
 //
 //	//lint:allow panic-in-library unreachable: validated by caller
+//
+// A directive whose analyzer no longer fires on the covered line is
+// itself a finding (stale-allow) on full-module runs: suppressions must
+// die with the code they excused.
 package main
 
 import (
@@ -49,6 +64,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -64,10 +80,13 @@ func main() {
 	flag.StringVar(&opts.baselinePath, "baseline", "", "baseline/suppression file (committed accepted findings)")
 	flag.BoolVar(&opts.writeBaseline, "write-baseline", false, "regenerate the -baseline file from current findings")
 	flag.StringVar(&opts.cachePath, "summary-cache", "", "summary cache file (content-hash keyed)")
+	flag.BoolVar(&opts.oracle, "oracle", false, "cross-check the model against compiler escape/bounds diagnostics")
+	flag.StringVar(&opts.oracleCachePath, "oracle-cache", "", "compiler-oracle cache file (Go version + module hash keyed)")
 	flag.BoolVar(&opts.stats, "stats", false, "print per-analyzer timing and cache statistics")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sketchlint [-list] [-json] [-github] [-changed ref] "+
-			"[-baseline file [-write-baseline]] [-summary-cache file] [-stats] [./... | dir ...]\n")
+			"[-baseline file [-write-baseline]] [-summary-cache file] [-oracle [-oracle-cache file]] "+
+			"[-stats] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -89,13 +108,15 @@ func main() {
 }
 
 type options struct {
-	jsonOut       bool
-	github        bool
-	changedRef    string
-	baselinePath  string
-	writeBaseline bool
-	cachePath     string
-	stats         bool
+	jsonOut         bool
+	github          bool
+	changedRef      string
+	baselinePath    string
+	writeBaseline   bool
+	cachePath       string
+	oracle          bool
+	oracleCachePath string
+	stats           bool
 }
 
 // finding is the JSON shape of one diagnostic. Paths are module-root
@@ -115,6 +136,8 @@ type report struct {
 	Stale     []lint.BaselineEntry `json:"stale_baseline,omitempty"`
 	Analyzers []lint.AnalyzerStats `json:"analyzers"`
 	Cache     cacheStats           `json:"summary_cache"`
+	// Oracle is present when -oracle ran.
+	Oracle *lint.OracleStats `json:"oracle,omitempty"`
 	// Fallback is the reason -changed fell back to the full module, or
 	// empty when it did not.
 	Fallback string `json:"fallback,omitempty"`
@@ -202,10 +225,24 @@ func run(args []string, opts options) error {
 	diags, stats := lint.RunWithStats(loader.Fset(), pkgs, lint.All(), lint.RunOptions{
 		CachedSummaries: cached,
 		SummaryPackages: sumPkgs,
+		// Only a full-module run proves a suppression dead: on a partial
+		// run an unfired directive may cover a package not analyzed.
+		CheckStaleAllows: fullModule,
 	})
 	cache.Update(stats.Mod, sumPkgs, stats.FreshPackages)
 	if err := cache.Save(); err != nil {
 		fmt.Fprintf(os.Stderr, "sketchlint: saving summary cache: %v\n", err)
+	}
+
+	var oracleStats *lint.OracleStats
+	if opts.oracle {
+		odiags, ostats, err := lint.RunOracle(root, loader.ModulePath, loader.Fset(),
+			loader.Loaded(), stats.Mod, lint.OracleOptions{CachePath: opts.oracleCachePath})
+		if err != nil {
+			return err
+		}
+		oracleStats = &ostats
+		diags = mergeDiags(diags, odiags)
 	}
 
 	baseline, err := lint.LoadBaseline(opts.baselinePath)
@@ -233,6 +270,7 @@ func run(args []string, opts options) error {
 		Stale:     stale,
 		Analyzers: stats.Analyzers,
 		Cache:     cacheStats{Hits: cache.Hits, Misses: cache.Misses, Millis: cacheMillis + stats.SummaryMillis},
+		Oracle:    oracleStats,
 		Fallback:  fallbackReason,
 	}
 
@@ -302,9 +340,38 @@ func printStats(rep report) {
 	fmt.Fprintf(w, "%-22s %9d %9d\n", "total", totalFindings, totalMillis)
 	fmt.Fprintf(w, "summary cache: %d hits, %d misses, %d ms (build+hash)\n",
 		rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Millis)
+	if rep.Oracle != nil {
+		state := "cold"
+		if rep.Oracle.CacheHit {
+			state = "warm"
+		}
+		fmt.Fprintf(w, "oracle: %s, %d escape sites, %d bounds sites, %d ms build (%s)\n",
+			state, rep.Oracle.EscapeSites, rep.Oracle.BoundsSites,
+			rep.Oracle.BuildMillis, rep.Oracle.GoVersion)
+	}
 	if n := len(rep.Baselined); n > 0 {
 		fmt.Fprintf(w, "baselined findings: %d\n", n)
 	}
+}
+
+// mergeDiags folds the oracle findings into the analyzer diagnostics,
+// restoring the suite's position order.
+func mergeDiags(diags, extra []lint.Diagnostic) []lint.Diagnostic {
+	diags = append(diags, extra...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
 }
 
 // changedDirs asks git which .go files differ from ref (committed or not)

@@ -43,6 +43,7 @@ type tcpConn struct {
 	// later send would interleave with the torn frame.
 	sendHdr   [4]byte
 	sendBufs  [2][]byte
+	sendVec   net.Buffers // consumed by WriteTo; a conn field so no local header moves to heap
 	batchHdrs []byte
 	batchBufs net.Buffers
 	sendErr   error
@@ -78,14 +79,16 @@ func (t *tcpConn) Send(msg []byte) error {
 	}
 	// One vectored write (writev on TCP) keeps header+body contiguous
 	// without copying the body; the mutex keeps whole frames atomic with
-	// respect to other senders. The vector is conn-owned scratch (WriteTo
-	// consumes the slice header, so it is rebuilt from the array each call).
+	// respect to other senders. WriteTo consumes its receiver's slice
+	// header, so the conn keeps the backing array (sendBufs) and hands
+	// WriteTo a rebuilt header each call — through the sendVec field, not a
+	// local, because WriteTo's pointer receiver would move a local to heap.
 	binary.LittleEndian.PutUint32(t.sendHdr[:], uint32(len(msg)))
 	t.sendBufs[0] = t.sendHdr[:]
 	t.sendBufs[1] = msg
-	bufs := net.Buffers(t.sendBufs[:])
+	t.sendVec = t.sendBufs[:]
 	//lint:allow lock-held-io frame atomicity is the design: sendMu must span the vectored write or concurrent senders interleave frame bytes
-	n, err := bufs.WriteTo(t.c)
+	n, err := t.sendVec.WriteTo(t.c)
 	t.sendBufs[1] = nil // do not pin the caller's message until the next Send
 	return t.checkWrite(n, int64(4+len(msg)), err)
 }
@@ -144,9 +147,10 @@ func (t *tcpConn) SendBatch(msgs [][]byte) error {
 		vec = append(vec, hdr, m)
 		total += int64(4 + len(m))
 	}
-	t.batchBufs = vec // WriteTo consumes vec's slice header; keep the backing for reuse
+	t.batchBufs = vec // WriteTo consumes sendVec's copy of the header; keep the full one for reuse
+	t.sendVec = vec   // hand WriteTo a conn field: its pointer receiver would move a local to heap
 	//lint:allow lock-held-io batch atomicity is the design: sendMu must span the vectored write or concurrent senders interleave sub-frames
-	n, err := vec.WriteTo(t.c)
+	n, err := t.sendVec.WriteTo(t.c)
 	for i := range t.batchBufs {
 		t.batchBufs[i] = nil // do not pin caller messages until the next batch
 	}

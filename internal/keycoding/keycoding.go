@@ -82,12 +82,14 @@ func AppendDelta(dst []byte, keys []uint64) ([]byte, error) {
 		j := i - 1
 		if d >= escape4 {
 			// 4-byte escape marker followed by the 8-byte delta.
+			//lint:allow bce-hotpath flagOff+j/4 < flagOff+flagLen <= len(dst) by the Grow reservation, but the prover cannot relate j/4 to flagLen across the appends
 			dst[flagOff+j/4] |= 3 << uint((j%4)*flagBits)
 			dst = append(dst, 0xFF, 0xFF, 0xFF, 0xFF)
 			dst = binary.LittleEndian.AppendUint64(dst, d)
 			continue
 		}
 		nb := bytesNeeded(d)
+		//lint:allow bce-hotpath flagOff+j/4 < flagOff+flagLen <= len(dst) by the Grow reservation, but the prover cannot relate j/4 to flagLen across the appends
 		dst[flagOff+j/4] |= byte(nb-1) << uint((j%4)*flagBits)
 		for b := 0; b < nb; b++ {
 			dst = append(dst, byte(d>>(8*uint(b))))
@@ -202,22 +204,33 @@ func SkipDelta(data []byte) (count, size int, err error) {
 		return 0, 0, errors.New("keycoding: truncated flags")
 	}
 	flags := data[off : off+flagLen]
-	off += flagLen
-	for j := 0; j < n; j++ {
-		nb := int(flags[j/4]>>uint((j%4)*flagBits))&0x3 + 1
-		if len(data) < off+nb {
-			return 0, 0, fmt.Errorf("keycoding: truncated delta %d", j+1)
-		}
-		if nb == 4 && binary.LittleEndian.Uint32(data[off:]) == uint32(escape4) {
-			if len(data) < off+12 {
-				return 0, 0, fmt.Errorf("keycoding: truncated wide delta %d", j+1)
+	// Walking the flag bytes directly (instead of indexing flags[j/4] per
+	// delta) and consuming a tail slice (instead of off arithmetic, whose
+	// non-negativity the prover loses across iterations) lets the compiler
+	// drop every per-iteration bounds check in this loop. len(rest) >= 4 is
+	// implied by the truncation check when nb == 4, but stating it directly
+	// is what lets the prover drop the escape-marker load's check.
+	rest := data[off+flagLen:]
+	j := 0
+	for _, fb := range flags {
+		for k := 0; k < 4 && j < n; k++ {
+			nb := int(fb>>uint(k*flagBits))&0x3 + 1
+			if len(rest) < nb {
+				return 0, 0, fmt.Errorf("keycoding: truncated delta %d", j+1)
 			}
-			off += 12
-			continue
+			if nb == 4 && len(rest) >= 4 && binary.LittleEndian.Uint32(rest) == uint32(escape4) {
+				if len(rest) < 12 {
+					return 0, 0, fmt.Errorf("keycoding: truncated wide delta %d", j+1)
+				}
+				rest = rest[12:]
+				j++
+				continue
+			}
+			rest = rest[nb:]
+			j++
 		}
-		off += nb
 	}
-	return count, off, nil
+	return count, len(data) - len(rest), nil
 }
 
 // DeltaSize returns the exact encoded size of keys without materializing

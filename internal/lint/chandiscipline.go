@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanDiscipline enforces three channel rules on the gather/broadcast
+// shapes the distributed trainer is built from:
+//
+//  1. No send on a channel that may already be closed: a positional
+//     close-then-send on one path inside a function, or — through the
+//     module summaries — a send on a channel-typed field that a different
+//     function closes. Send-on-closed panics, and the panic lands in
+//     whichever worker goroutine loses the race.
+//  2. No unbuffered send while a mutex is held: the send blocks until a
+//     receiver is ready, and every goroutine queued on the mutex stalls
+//     with it — the channel variant of lock-held-io.
+//  3. No blocking select inside a //sketchlint:hotpath function: a select
+//     with no default case parks the goroutine in the scheduler; the hot
+//     path either polls (default) or hands the wait off. Selects inside
+//     go'd literals are exempt — the spawned goroutine is not the hot path.
+//
+// Where the protocol makes a flagged shape safe (a join orders every send
+// before the close; the locked send is the serialization point), the site
+// takes a //lint:allow chan-discipline comment naming that protocol.
+func ChanDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "chan-discipline",
+		Doc: "send on a possibly-closed channel, unbuffered send under a " +
+			"mutex, or blocking select on a hot path",
+	}
+	a.Run = func(pass *Pass) {
+		if !internalLibrary(pass.Path) {
+			return
+		}
+		facts := pass.Mod.chanFacts()
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkChanDiscipline(pass, fn, facts)
+			}
+		}
+	}
+	return a
+}
+
+func checkChanDiscipline(pass *Pass, fn *ast.FuncDecl, facts *chanFacts) {
+	info := pass.Info
+	scopes := collectLockScopes(info, fn)
+	fnKey := funcKey(info, fn)
+	hot := HasHotpathDirective(fn)
+
+	// Go'd literal spans: selects there run on a spawned goroutine, not the
+	// hot path.
+	var goSpans []posRange
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				goSpans = append(goSpans, posRange{lit.Body.Pos(), lit.Body.End()})
+			}
+		}
+		return true
+	})
+	inGoSpan := func(pos token.Pos) bool {
+		for _, r := range goSpans {
+			if pos >= r.lo && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Non-deferred close positions by canonical channel expression, and
+	// local channel buffering from this function's own makes.
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	closePos := make(map[string][]token.Pos)
+	localKind := make(map[types.Object]string)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && !deferredCalls[n] {
+					closePos[types.ExprString(n.Args[0])] = append(closePos[types.ExprString(n.Args[0])], n.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || len(n.Rhs) != len(n.Lhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if kind := makeChanKind(info, n.Rhs[i]); kind != "" {
+					localKind[obj] = kind
+				}
+			}
+		}
+		return true
+	})
+	// ast.Inspect visits a DeferStmt before its Call only when the defer
+	// statement node precedes it in the walk — it always does (parent
+	// first), so deferredCalls is populated in time. The single pass above
+	// relies on that ordering.
+
+	unbuffered := func(ch ast.Expr) bool {
+		if id, ok := ast.Unparen(ch).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				return localKind[obj] == "make-unbuffered"
+			}
+		}
+		if key := chanKeyOf(info, ch); key != "" {
+			mk := facts.makes[key]
+			return mk.unbuf && !mk.buf
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			chStr := types.ExprString(n.Chan)
+			for _, cp := range closePos[chStr] {
+				if cp < n.Arrow {
+					pass.Reportf(n.Pos(),
+						"send on %s after close(%s) on this path; send on a closed channel panics",
+						chStr, chStr)
+					break
+				}
+			}
+			if key := chanKeyOf(info, n.Chan); key != "" {
+				for _, cw := range facts.closes[key] {
+					if cw.fn == fnKey {
+						continue
+					}
+					pass.Reportf(n.Pos(),
+						"send on %s, but %s closes this channel at %s; nothing orders the send before the close",
+						chStr, shortFuncName(cw.fn), cw.site)
+					break
+				}
+			}
+			if held := heldLocksAt(scopes, n.Pos()); len(held) > 0 && unbuffered(n.Chan) {
+				pass.Reportf(n.Pos(),
+					"unbuffered send on %s while holding %s; the send blocks until a receiver is ready, and every goroutine queued on the mutex stalls with it",
+					chStr, held[0].recv)
+			}
+		case *ast.SelectStmt:
+			if hot && !inGoSpan(n.Pos()) && !selectHasDefault(n) {
+				pass.Reportf(n.Pos(),
+					"blocking select inside hotpath function %s; add a default case or move the wait off the hot path",
+					fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// selectHasDefault reports whether the select carries a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// chanFacts is the module-wide channel picture from the summaries.
+type chanFacts struct {
+	// closes maps channel keys to the functions (and sites) that close them.
+	closes map[string][]chanCloseWitness
+	// makes records the buffering evidence seen for each channel key.
+	makes map[string]chanMakeKinds
+}
+
+type chanCloseWitness struct {
+	fn   string
+	site SiteRef
+}
+
+type chanMakeKinds struct {
+	unbuf, buf bool
+}
+
+// chanFacts builds (once) the close/make maps from the summaries.
+func (m *ModuleSummary) chanFacts() *chanFacts {
+	if m.chanOnce {
+		return m.chans
+	}
+	m.chanOnce = true
+	facts := &chanFacts{
+		closes: make(map[string][]chanCloseWitness),
+		makes:  make(map[string]chanMakeKinds),
+	}
+	keys := make([]string, 0, len(m.Funcs))
+	for k := range m.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, op := range m.Funcs[k].ChanOps {
+			switch op.Kind {
+			case "close":
+				facts.closes[op.Field] = append(facts.closes[op.Field],
+					chanCloseWitness{fn: k, site: op.Site})
+			case "make-unbuffered":
+				mk := facts.makes[op.Field]
+				mk.unbuf = true
+				facts.makes[op.Field] = mk
+			case "make-buffered":
+				mk := facts.makes[op.Field]
+				mk.buf = true
+				facts.makes[op.Field] = mk
+			}
+		}
+	}
+	m.chans = facts
+	return m.chans
+}

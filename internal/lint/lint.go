@@ -67,6 +67,21 @@ type Pass struct {
 
 	diags *[]Diagnostic
 	allow map[string]map[int]map[string]bool // file -> line -> analyzer names
+	// used records every //lint:allow directive line that suppressed a
+	// finding this run, keyed by allowUseKey; the stale-suppression check
+	// reads it after all analyzers finish.
+	used map[string]bool
+}
+
+// StaleAllowAnalyzer names the stale-suppression finding class: a
+// //lint:allow directive whose analyzer no longer fires on the line it
+// covers. It has no Analyzer value — RunWithStats emits it directly after
+// the suite finishes, and only on full-module runs (CheckStaleAllows).
+const StaleAllowAnalyzer = "stale-allow"
+
+// allowUseKey identifies one (directive line, analyzer) consumption.
+func allowUseKey(file string, line int, name string) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", file, line, name)
 }
 
 // Reportf records a finding at pos unless a //lint:allow comment for this
@@ -106,6 +121,9 @@ func (p *Pass) allowedAt(pos token.Position) bool {
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		if names := lines[line]; names != nil && names[p.Analyzer.Name] {
+			if p.used != nil {
+				p.used[allowUseKey(pos.Filename, line, p.Analyzer.Name)] = true
+			}
 			return true
 		}
 	}
@@ -127,6 +145,37 @@ func (p *Pass) PkgNameOf(ident *ast.Ident) string {
 // suppresses the named analyzers on its own line and the line below.
 func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
 	out := make(map[string]map[int]map[string]bool)
+	for _, d := range collectAllowDirectives(fset, files) {
+		lines := out[d.File]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			out[d.File] = lines
+		}
+		names := lines[d.Line]
+		if names == nil {
+			names = make(map[string]bool)
+			lines[d.Line] = names
+		}
+		for _, name := range d.Names {
+			names[name] = true
+		}
+	}
+	return out
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	File  string
+	Line  int
+	Col   int
+	Names []string
+}
+
+// collectAllowDirectives parses every //lint:allow comment in files, in
+// source order. Malformed directives (no names) are skipped here — the
+// pragma analyzer owns reporting those.
+func collectAllowDirectives(fset *token.FileSet, files []*ast.File) []allowDirective {
+	var out []allowDirective
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -139,22 +188,19 @@ func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int]map[s
 				if len(fields) == 0 {
 					continue
 				}
-				pos := fset.Position(c.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					out[pos.Filename] = lines
-				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
-				}
+				var names []string
 				for _, name := range strings.Split(fields[0], ",") {
 					if name != "" {
-						names[name] = true
+						names = append(names, name)
 					}
 				}
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, allowDirective{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column, Names: names,
+				})
 			}
 		}
 	}
@@ -174,6 +220,13 @@ type RunOptions struct {
 	// real summaries — otherwise the conservative external-call fallback
 	// would invent taint the full-module run disproves.
 	SummaryPackages []*Package
+	// CheckStaleAllows emits a "stale-allow" diagnostic for every
+	// //lint:allow directive naming an analyzer that ran but suppressed
+	// nothing on the directive's lines. Only full-module runs set it: on a
+	// partial run an unfired directive may simply cover a package that was
+	// not analyzed. Directive names outside the run's analyzer set (the
+	// compiler-oracle classes, a disabled analyzer) are never stale-checked.
+	CheckStaleAllows bool
 }
 
 // AnalyzerStats is the per-analyzer cost and yield of one run.
@@ -233,8 +286,13 @@ func RunWithStats(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, o
 		perAnalyzer[a.Name] = s
 		stats.Analyzers = append(stats.Analyzers, AnalyzerStats{})
 	}
+	used := make(map[string]bool)
+	var directives []allowDirective
 	for _, pkg := range pkgs {
 		allow := buildAllow(fset, pkg.Files)
+		if opts.CheckStaleAllows {
+			directives = append(directives, collectAllowDirectives(fset, pkg.Files)...)
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -246,6 +304,7 @@ func RunWithStats(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, o
 				Mod:      mod,
 				diags:    &diags,
 				allow:    allow,
+				used:     used,
 			}
 			before := len(diags)
 			start := time.Now()
@@ -254,6 +313,9 @@ func RunWithStats(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, o
 			s.Millis += time.Since(start).Milliseconds()
 			s.Findings += len(diags) - before
 		}
+	}
+	if opts.CheckStaleAllows {
+		diags = append(diags, staleAllowDiags(directives, used, mod, analyzers)...)
 	}
 	for i, a := range analyzers {
 		stats.Analyzers[i] = *perAnalyzer[a.Name]
@@ -277,8 +339,10 @@ func RunWithStats(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, o
 // All returns the full analyzer suite in stable order. The first five are
 // the v1 serialization/determinism invariants; the next five (v2) guard
 // the concurrency and untrusted-wire surfaces of the parallel codec hot
-// path; the last four (v3) are interprocedural, built on the module
-// summary table.
+// path; the following four (v3) are interprocedural, built on the module
+// summary table; the last four (v4) are the concurrency-safety suite
+// (lock ordering, static race candidates, channel discipline) plus the
+// directive validator.
 func All() []*Analyzer {
 	return []*Analyzer{
 		UnseededHash(),
@@ -295,7 +359,44 @@ func All() []*Analyzer {
 		HotpathAlloc(),
 		WireDeterminism(),
 		AtomicMix(),
+		LockOrder(),
+		SharedWrite(),
+		ChanDiscipline(),
+		Pragma(),
 	}
+}
+
+// staleAllowDiags cross-checks every //lint:allow directive against the
+// suppressions actually consumed this run: by Pass.allowedAt at report
+// time (used), or during summary extraction, where directive consumption
+// persists in FuncSummary.UsedAllows so warm-cache runs — which skip
+// extraction entirely — still count it.
+func staleAllowDiags(directives []allowDirective, used map[string]bool, mod *ModuleSummary, analyzers []*Analyzer) []Diagnostic {
+	for _, s := range mod.Funcs {
+		for _, u := range s.UsedAllows {
+			used[allowUseKey(u.File, u.Line, u.What)] = true
+		}
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, d := range directives {
+		for _, name := range d.Names {
+			if !ran[name] || used[allowUseKey(d.File, d.Line, name)] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      token.Position{Filename: d.File, Line: d.Line, Column: d.Col},
+				Analyzer: StaleAllowAnalyzer,
+				Message: fmt.Sprintf(
+					"//lint:allow %s suppresses nothing: the analyzer no longer fires on this line; remove the stale directive",
+					name),
+			})
+		}
+	}
+	return out
 }
 
 // internalLibrary reports whether an import path is part of the module's

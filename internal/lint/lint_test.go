@@ -2,8 +2,10 @@ package lint
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -105,6 +107,117 @@ func TestWireDeterminismFixture(t *testing.T) {
 	checkFixture(t, "wiredeterminism", WireDeterminism())
 }
 func TestAtomicMixFixture(t *testing.T) { checkFixture(t, "atomicmix", AtomicMix()) }
+
+func TestLockOrderFixture(t *testing.T)   { checkFixture(t, "lockorder", LockOrder()) }
+func TestSharedWriteFixture(t *testing.T) { checkFixture(t, "sharedwrite", SharedWrite()) }
+func TestChanDisciplineFixture(t *testing.T) {
+	checkFixture(t, "chandiscipline", ChanDiscipline())
+}
+func TestPragmaFixture(t *testing.T) { checkFixture(t, "pragma", Pragma()) }
+
+// TestPragmaAllowForms covers the two allow shapes whose diagnostics
+// cannot carry embedded want comments: trailing text would read as names
+// or as the justification the checks look for.
+func TestPragmaAllowForms(t *testing.T) {
+	loader, pkg := loadFixture(t, "pragmaallow")
+	diags := Run(loader.Fset(), []*Package{pkg}, []*Analyzer{Pragma()})
+	want := []string{"names no analyzers", "without a justification"}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, substr := range want {
+		if !strings.Contains(diags[i].Message, substr) {
+			t.Errorf("diagnostic %d = %s, want message containing %q", i, diags[i], substr)
+		}
+	}
+}
+
+// TestStaleAllowDetection pins the stale-suppression check: a consumed
+// directive stays silent, an unfired one is reported, and a directive
+// naming an analyzer outside the run's set is never stale-checked.
+func TestStaleAllowDetection(t *testing.T) {
+	loader, pkg := loadFixture(t, "staleallow")
+	diags, _ := RunWithStats(loader.Fset(), []*Package{pkg}, []*Analyzer{FloatEquality()},
+		RunOptions{CheckStaleAllows: true})
+	staleLine := fixtureMarkerLine(t,
+		filepath.Join("testdata", "src", "staleallow", "staleallow.go"), "integers never trip")
+	var stale []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == StaleAllowAnalyzer {
+			stale = append(stale, d)
+		} else {
+			t.Errorf("unexpected non-stale diagnostic: %s", d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale-allow diagnostics, want 1: %v", len(stale), stale)
+	}
+	if stale[0].Pos.Line != staleLine {
+		t.Errorf("stale-allow at line %d, want %d", stale[0].Pos.Line, staleLine)
+	}
+	if !strings.Contains(stale[0].Message, "float-equality") {
+		t.Errorf("stale-allow message %q does not name the analyzer", stale[0].Message)
+	}
+}
+
+// TestStaleAllowWarmCache pins the UsedAllows plumbing: a directive
+// consumed during summary extraction (hotpath-alloc excludes the allowed
+// site from the summary, so the analyzer itself never touches the allow
+// map) must stay non-stale on a warm-cache run, when extraction — and its
+// live consumption — is skipped entirely.
+func TestStaleAllowWarmCache(t *testing.T) {
+	loader, pkg := loadFixture(t, "hotpathalloc")
+	run := func(cached map[string][]*FuncSummary) ([]Diagnostic, RunStats) {
+		return RunWithStats(loader.Fset(), []*Package{pkg}, []*Analyzer{HotpathAlloc()},
+			RunOptions{CheckStaleAllows: true, CachedSummaries: cached})
+	}
+	cold, stats := run(nil)
+	for _, d := range cold {
+		if d.Analyzer == StaleAllowAnalyzer {
+			t.Errorf("cold run: unexpected stale-allow: %s", d)
+		}
+	}
+	cached := map[string][]*FuncSummary{}
+	keys := make([]string, 0, len(stats.Mod.Funcs))
+	for k := range stats.Mod.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if s := stats.Mod.Funcs[k]; s.Pkg == pkg.Path {
+			cached[pkg.Path] = append(cached[pkg.Path], s)
+		}
+	}
+	warm, wstats := run(cached)
+	if len(wstats.FreshPackages) != 0 {
+		t.Errorf("warm run re-extracted %v", wstats.FreshPackages)
+	}
+	for _, d := range warm {
+		if d.Analyzer == StaleAllowAnalyzer {
+			t.Errorf("warm run: stale-allow despite cached UsedAllows: %s", d)
+		}
+	}
+	if len(warm) != len(cold) {
+		t.Errorf("warm run found %d diagnostics, cold %d", len(warm), len(cold))
+	}
+}
+
+// fixtureMarkerLine returns the 1-based line of the first fixture line
+// containing marker.
+func fixtureMarkerLine(t *testing.T, path, marker string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not found in %s", marker, path)
+	return 0
+}
 
 // TestScopedAnalyzersSkipForeignPackages pins the path scoping: the
 // wire-endianness and panic-in-library analyzers must stay silent outside

@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 	"strings"
 )
 
@@ -25,9 +24,9 @@ var blockingIONames = map[string]bool{
 // //lint:allow comment documenting the tradeoff.
 //
 // The held window is positional: from x.Lock() to the first matching
-// x.Unlock() statement, or to the end of the function when the unlock is
-// deferred (or absent). RLock/RUnlock windows are treated identically —
-// a blocked reader still blocks writers.
+// x.Unlock() statement, or to the end of the enclosing lock scope when the
+// unlock is deferred (or absent). RLock/RUnlock windows are treated
+// identically — a blocked reader still blocks writers.
 func LockHeldIO() *Analyzer {
 	a := &Analyzer{
 		Name: "lock-held-io",
@@ -51,69 +50,17 @@ func LockHeldIO() *Analyzer {
 	return a
 }
 
-// lockEvent is one Lock/Unlock statement inside a function.
-type lockEvent struct {
-	recv     string // canonical receiver expression, e.g. "t.sendMu"
-	pos      token.Pos
-	unlock   bool
-	deferred bool
-}
-
-// checkLockWindows finds every mutex hold window in fn and reports
-// blocking I/O calls positioned inside one.
+// checkLockWindows finds every mutex hold window in fn (per lock scope, so
+// a window never leaks out of a function literal) and reports blocking I/O
+// calls positioned inside one.
 func checkLockWindows(pass *Pass, fn *ast.FuncDecl) {
-	var events []lockEvent
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		var call *ast.CallExpr
-		deferred := false
-		switch s := n.(type) {
-		case *ast.ExprStmt:
-			call, _ = s.X.(*ast.CallExpr)
-		case *ast.DeferStmt:
-			call, deferred = s.Call, true
-		}
-		if call == nil {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		name := sel.Sel.Name
-		isLock := name == "Lock" || name == "RLock"
-		isUnlock := name == "Unlock" || name == "RUnlock"
-		if !isLock && !isUnlock {
-			return true
-		}
-		s, ok := pass.Info.Selections[sel]
-		if !ok {
-			return true
-		}
-		if tn := typeName(s.Recv()); tn != "sync.Mutex" && tn != "sync.RWMutex" {
-			return true
-		}
-		events = append(events, lockEvent{
-			recv:     types.ExprString(sel.X),
-			pos:      call.Pos(),
-			unlock:   isUnlock,
-			deferred: deferred,
-		})
-		return true
-	})
-
-	for _, lock := range events {
-		if lock.unlock || lock.deferred {
-			continue
-		}
-		// Window: lock position to first non-deferred matching unlock after
-		// it, else end of function (deferred unlock or lock handed off).
-		end := fn.Body.End()
-		for _, u := range events {
-			if u.unlock && !u.deferred && u.recv == lock.recv && u.pos > lock.pos && u.pos < end {
-				end = u.pos
+	for _, sc := range collectLockScopes(pass.Info, fn) {
+		for _, lock := range sc.events {
+			if lock.unlock || lock.deferred {
+				continue
 			}
+			reportBlockingCalls(pass, fn, lock, sc.windowEnd(lock))
 		}
-		reportBlockingCalls(pass, fn, lock, end)
 	}
 }
 

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LockOrder fails on cycles in the module-wide lock-acquisition graph —
+// the static form of the ABBA deadlock the race detector only reports when
+// the schedule actually interleaves the two paths. Nodes are module-wide
+// mutex keys (struct fields, package-level vars); an edge A -> B means
+// some code path acquires B while holding A, either directly inside one
+// function or through any chain of module-internal calls (CallEdge.Held
+// composed with the callee's transitive acquisitions). Every cycle is
+// reported once, with a deterministic witness chain naming the sites and
+// functions that close it.
+//
+// Re-acquiring the same mutex key while it is held is reported as a
+// self-deadlock: sync mutexes are not reentrant. Same-key nesting through
+// two different receiver expressions (a.mu then b.mu) is reported only
+// when mediated by a call — the direct form is skipped as unorderable —
+// so a deliberate two-instance protocol needs a //lint:allow lock-order
+// comment stating the instance order that makes it safe.
+func LockOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "lock-order",
+		Doc: "cycle in the module lock-acquisition graph, or same-mutex " +
+			"re-acquisition; acquire mutexes in one global order",
+	}
+	a.Run = func(pass *Pass) {
+		if !internalLibrary(pass.Path) {
+			return
+		}
+		edges := pass.Mod.LockGraph()
+		for _, e := range edges {
+			if e.From != e.To || e.Pkg != pass.Path {
+				continue
+			}
+			pass.ReportAt(e.Site.Position(),
+				"%s acquired at %s while already held (via %s); sync mutexes are not reentrant, and a second instance would need a documented order",
+				shortLockName(e.To), e.Site, strings.Join(e.Via, " -> "))
+		}
+		for _, cyc := range lockOrderCycles(edges) {
+			if cyc[0].Pkg != pass.Path {
+				continue
+			}
+			pass.ReportAt(cyc[0].Site.Position(),
+				"lock-order cycle: %s; acquire these mutexes in one global order",
+				describeLockCycle(cyc))
+		}
+	}
+	return a
+}
+
+// lockEdge is one directed edge of the lock-acquisition graph: while From
+// was held, To was acquired at Site through the function chain Via.
+type lockEdge struct {
+	From, To string
+	Site     SiteRef
+	Via      []string // holder function, then the call chain to the acquisition
+	Pkg      string   // package of the holding function (anchors reporting)
+}
+
+// lockAcqWitness proves a function transitively acquires a lock key.
+type lockAcqWitness struct {
+	site  SiteRef
+	chain []string
+}
+
+// LockGraph builds (once) the module lock-acquisition graph from the
+// summaries: each function's direct nested pairs, plus each call site's
+// held set composed with the callee's transitive acquisitions. Parallel
+// edges dedupe to the first contributor in sorted function-key order, so
+// the graph — and every witness derived from it — is deterministic.
+func (m *ModuleSummary) LockGraph() []lockEdge {
+	if m.lockOnce {
+		return m.lockEdges
+	}
+	m.lockOnce = true
+
+	keys := make([]string, 0, len(m.Funcs))
+	for k := range m.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	acqMemo := make(map[string]map[string]lockAcqWitness)
+	var transAcq func(k string, visiting map[string]bool) map[string]lockAcqWitness
+	transAcq = func(k string, visiting map[string]bool) map[string]lockAcqWitness {
+		if acqs, ok := acqMemo[k]; ok {
+			return acqs
+		}
+		if visiting[k] {
+			return nil
+		}
+		s := m.Funcs[k]
+		if s == nil {
+			return nil
+		}
+		visiting[k] = true
+		defer delete(visiting, k)
+		acqs := make(map[string]lockAcqWitness)
+		for _, a := range s.Acquires {
+			if _, ok := acqs[a.Field]; !ok {
+				acqs[a.Field] = lockAcqWitness{site: a.Site, chain: []string{shortFuncName(k)}}
+			}
+		}
+		for _, e := range s.Calls {
+			if e.Go {
+				continue // a spawned goroutine's locks are its own ordering domain
+			}
+			for ck, cw := range transAcq(e.Callee, visiting) {
+				if _, ok := acqs[ck]; !ok {
+					acqs[ck] = lockAcqWitness{
+						site:  cw.site,
+						chain: append([]string{shortFuncName(k)}, cw.chain...),
+					}
+				}
+			}
+		}
+		acqMemo[k] = acqs
+		return acqs
+	}
+
+	seen := make(map[string]bool)
+	add := func(e lockEdge) {
+		id := e.From + "\x00" + e.To
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		m.lockEdges = append(m.lockEdges, e)
+	}
+	for _, k := range keys {
+		s := m.Funcs[k]
+		for _, p := range s.LockPairs {
+			add(lockEdge{From: p.Held, To: p.Acquired, Site: p.Site,
+				Via: []string{shortFuncName(k)}, Pkg: s.Pkg})
+		}
+		for _, e := range s.Calls {
+			if len(e.Held) == 0 {
+				continue
+			}
+			acqs := transAcq(e.Callee, make(map[string]bool))
+			acqKeys := make([]string, 0, len(acqs))
+			for ak := range acqs {
+				acqKeys = append(acqKeys, ak)
+			}
+			sort.Strings(acqKeys)
+			for _, ak := range acqKeys {
+				w := acqs[ak]
+				for _, h := range e.Held {
+					add(lockEdge{From: h, To: ak, Site: e.Site,
+						Via: append([]string{shortFuncName(k)}, w.chain...), Pkg: s.Pkg})
+				}
+			}
+		}
+	}
+	return m.lockEdges
+}
+
+// lockOrderCycles finds the cycles among distinct lock keys: for every
+// strongly connected component of size >= 2, one deterministic witness
+// cycle as an ordered edge list. Self edges are handled separately by the
+// analyzer.
+func lockOrderCycles(edges []lockEdge) [][]lockEdge {
+	adj := make(map[string]map[string]lockEdge)
+	var nodes []string
+	nodeSeen := make(map[string]bool)
+	addNode := func(n string) {
+		if !nodeSeen[n] {
+			nodeSeen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for _, e := range edges {
+		if e.From == e.To {
+			continue
+		}
+		addNode(e.From)
+		addNode(e.To)
+		if adj[e.From] == nil {
+			adj[e.From] = make(map[string]lockEdge)
+		}
+		if _, ok := adj[e.From][e.To]; !ok {
+			adj[e.From][e.To] = e
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan SCC.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(n string)
+	strongconnect = func(n string) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		succs := make([]string, 0, len(adj[n]))
+		for s := range adj[n] {
+			succs = append(succs, s)
+		}
+		sort.Strings(succs)
+		for _, s := range succs {
+			if _, seen := index[s]; !seen {
+				strongconnect(s)
+				if low[s] < low[n] {
+					low[n] = low[s]
+				}
+			} else if onStack[s] && index[s] < low[n] {
+				low[n] = index[s]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []string
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				scc = append(scc, top)
+				if top == n {
+					break
+				}
+			}
+			if len(scc) >= 2 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool {
+		return minString(sccs[i]) < minString(sccs[j])
+	})
+
+	// One witness cycle per SCC: walk min-successor-first from the smallest
+	// node; the first repeated node closes the loop.
+	var cycles [][]lockEdge
+	for _, scc := range sccs {
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		start := minString(scc)
+		path := []string{start}
+		pathIdx := map[string]int{start: 0}
+		var cycleEdges []lockEdge
+		for {
+			cur := path[len(path)-1]
+			succs := make([]string, 0, len(adj[cur]))
+			for s := range adj[cur] {
+				if inSCC[s] {
+					succs = append(succs, s)
+				}
+			}
+			if len(succs) == 0 {
+				break // cannot happen in an SCC; guard anyway
+			}
+			sort.Strings(succs)
+			nextNode := succs[0]
+			if i, seen := pathIdx[nextNode]; seen {
+				for j := i; j < len(path); j++ {
+					to := nextNode
+					if j+1 < len(path) {
+						to = path[j+1]
+					}
+					cycleEdges = append(cycleEdges, adj[path[j]][to])
+				}
+				break
+			}
+			pathIdx[nextNode] = len(path)
+			path = append(path, nextNode)
+		}
+		if len(cycleEdges) >= 2 {
+			cycles = append(cycles, cycleEdges)
+		}
+	}
+	return cycles
+}
+
+func minString(ss []string) string {
+	min := ss[0]
+	for _, s := range ss[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// describeLockCycle renders a witness chain:
+// "a.mu -> b.mu (at f.go:3:2 via F) -> a.mu (at f.go:9:2 via G -> h)".
+func describeLockCycle(cyc []lockEdge) string {
+	var b strings.Builder
+	b.WriteString(shortLockName(cyc[0].From))
+	for _, e := range cyc {
+		fmt.Fprintf(&b, " -> %s (at %s via %s)",
+			shortLockName(e.To), e.Site, strings.Join(e.Via, " -> "))
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the positional mutex-window model shared by lock-held-io,
+// the concurrency extraction in summary.go, and chan-discipline. The model
+// is lexical: a hold window runs from x.Lock() to the first non-deferred
+// matching x.Unlock() statement after it, else to the end of the enclosing
+// lock scope (deferred unlock, or lock handed off).
+
+// lockEvent is one Lock/Unlock statement inside a lock scope.
+type lockEvent struct {
+	recv     string // canonical receiver expression, e.g. "t.sendMu"
+	key      string // module-wide mutex key ("pkg.Type.Field" / "pkg.var"), "" for locals
+	read     bool   // RLock/RUnlock
+	pos      token.Pos
+	unlock   bool
+	deferred bool
+}
+
+// lockScope is one lexical function body — the declared body or a function
+// literal's — with the Lock/Unlock events positioned directly inside it.
+// Windows never cross a scope boundary: a literal may run on another
+// goroutine (or after the outer frame has returned), so a mutex held at the
+// literal's definition site says nothing about the locks held when its body
+// actually runs.
+type lockScope struct {
+	body   *ast.BlockStmt
+	events []lockEvent
+}
+
+// collectLockScopes builds the scope list for fn: its body plus every
+// function literal body, each excluding deeper literals.
+func collectLockScopes(info *types.Info, fn *ast.FuncDecl) []lockScope {
+	bodies := []*ast.BlockStmt{fn.Body}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	scopes := make([]lockScope, 0, len(bodies))
+	for _, b := range bodies {
+		scopes = append(scopes, lockScope{body: b, events: collectLockEvents(info, b)})
+	}
+	return scopes
+}
+
+// collectLockEvents gathers the Lock/Unlock statements directly inside body,
+// not descending into nested function literals (each is its own scope).
+func collectLockEvents(info *types.Info, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var call *ast.CallExpr
+		deferred := false
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = s.Call, true
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		isLock := name == "Lock" || name == "RLock"
+		isUnlock := name == "Unlock" || name == "RUnlock"
+		if !isLock && !isUnlock {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok {
+			return true
+		}
+		if tn := typeName(s.Recv()); tn != "sync.Mutex" && tn != "sync.RWMutex" {
+			return true
+		}
+		events = append(events, lockEvent{
+			recv:     types.ExprString(sel.X),
+			key:      mutexKeyOf(info, sel.X),
+			read:     name == "RLock" || name == "RUnlock",
+			pos:      call.Pos(),
+			unlock:   isUnlock,
+			deferred: deferred,
+		})
+		return true
+	})
+	return events
+}
+
+// windowEnd is the positional end of a hold window: the first non-deferred
+// matching unlock after the lock, else the scope end.
+func (sc *lockScope) windowEnd(lock lockEvent) token.Pos {
+	end := sc.body.End()
+	for _, u := range sc.events {
+		if u.unlock && !u.deferred && u.recv == lock.recv && u.pos > lock.pos && u.pos < end {
+			end = u.pos
+		}
+	}
+	return end
+}
+
+// heldAt returns the lock events whose hold window contains pos.
+func (sc *lockScope) heldAt(pos token.Pos) []lockEvent {
+	var held []lockEvent
+	for _, l := range sc.events {
+		if l.unlock || l.deferred {
+			continue
+		}
+		if l.pos < pos && pos < sc.windowEnd(l) {
+			held = append(held, l)
+		}
+	}
+	return held
+}
+
+// innermostScope returns the smallest scope containing pos, or nil.
+func innermostScope(scopes []lockScope, pos token.Pos) *lockScope {
+	var best *lockScope
+	for i := range scopes {
+		b := scopes[i].body
+		if pos < b.Pos() || pos >= b.End() {
+			continue
+		}
+		if best == nil || b.End()-b.Pos() < best.body.End()-best.body.Pos() {
+			best = &scopes[i]
+		}
+	}
+	return best
+}
+
+// heldLocksAt resolves pos to its innermost scope and returns the locks
+// held there.
+func heldLocksAt(scopes []lockScope, pos token.Pos) []lockEvent {
+	if sc := innermostScope(scopes, pos); sc != nil {
+		return sc.heldAt(pos)
+	}
+	return nil
+}
+
+// mutexKeyOf keys the operand of a Lock/Unlock (or a channel expression)
+// module-wide: a struct field as "pkgpath.Type.Field", a package-level var
+// as "pkgpath.Name". Locals and parameters key as "" — two functions
+// locking through the same parameter cannot be correlated statically.
+func mutexKeyOf(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return mutexKeyOf(info, e.X)
+	case *ast.SelectorExpr:
+		if key := fieldKeyAnyOf(info, e); key != "" {
+			return key
+		}
+		// pkgname.Var: a package-level mutex accessed qualified.
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return pkgLevelVarKey(obj)
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok {
+			return pkgLevelVarKey(obj)
+		}
+	}
+	return ""
+}
+
+// chanKeyOf keys a channel expression when it is a module-internal struct
+// field or package-level var of channel type, or "" otherwise.
+func chanKeyOf(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	if _, ok := tv.Type.Underlying().(*types.Chan); !ok {
+		return ""
+	}
+	return mutexKeyOf(info, e)
+}
+
+// pkgLevelVarKey keys a module-internal package-level variable, or "".
+func pkgLevelVarKey(obj *types.Var) string {
+	if obj.Pkg() == nil || !internalLibrary(obj.Pkg().Path()) {
+		return ""
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// shortLockName renders a lock key for messages: the last path segment of
+// the defining package plus the type/field tail, e.g.
+// "sketchml/internal/cluster.tcpConn.sendMu" -> "cluster.tcpConn.sendMu".
+func shortLockName(key string) string {
+	if i := lastSlash(key); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseEscapeDiagnostics(t *testing.T) {
+	out := strings.Join([]string{
+		"# sketchml/internal/codec",
+		"internal/codec/encode.go:10:6: can inline helper",
+		"internal/codec/encode.go:12:9: buf escapes to heap:",
+		"internal/codec/encode.go:12:9: buf escapes to heap",
+		"  from append(dst, buf...) at internal/codec/encode.go:13:9",
+		"internal/codec/encode.go:20:10: moved to heap: scratch",
+		"/usr/local/go/src/fmt/print.go:30:2: x escapes to heap",
+		"",
+	}, "\n")
+	sites := ParseEscapeDiagnostics([]byte(out))
+	want := []OracleSite{
+		{File: "internal/codec/encode.go", Line: 12, Col: 9, Msg: "buf escapes to heap"},
+		{File: "internal/codec/encode.go", Line: 20, Col: 10, Msg: "moved to heap: scratch"},
+	}
+	if len(sites) != len(want) {
+		t.Fatalf("got %d sites, want %d: %v", len(sites), len(want), sites)
+	}
+	for i := range want {
+		if sites[i] != want[i] {
+			t.Errorf("site %d = %+v, want %+v", i, sites[i], want[i])
+		}
+	}
+}
+
+func TestParseBoundsDiagnostics(t *testing.T) {
+	out := strings.Join([]string{
+		"# sketchml/internal/bitpack",
+		"internal/bitpack/bitpack.go:152:19: Found IsSliceInBounds",
+		"internal/bitpack/bitpack.go:88:7: Found IsInBounds",
+		"internal/bitpack/bitpack.go:90:1: can inline AppendBlock",
+		"/usr/local/go/src/sort/sort.go:12:2: Found IsInBounds",
+		"",
+	}, "\n")
+	sites := ParseBoundsDiagnostics([]byte(out))
+	want := []OracleSite{
+		{File: "internal/bitpack/bitpack.go", Line: 152, Col: 19, Msg: "Found IsSliceInBounds"},
+		{File: "internal/bitpack/bitpack.go", Line: 88, Col: 7, Msg: "Found IsInBounds"},
+	}
+	if len(sites) != len(want) {
+		t.Fatalf("got %d sites, want %d: %v", len(sites), len(want), sites)
+	}
+	for i := range want {
+		if sites[i] != want[i] {
+			t.Errorf("site %d = %+v, want %+v", i, sites[i], want[i])
+		}
+	}
+}
+
+func TestBCEPackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"sketchml/internal/bitpack":   true,
+		"sketchml/internal/keycoding": true,
+		"sketchml/internal/quantizer": true,
+		"fixture/bcequantizer":        true,
+		"sketchml/internal/codec":     false,
+		"sketchml/internal/trainer":   false,
+	} {
+		if got := bcePackage(path); got != want {
+			t.Errorf("bcePackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestOracleMappingAndCache drives RunOracle with a synthetic toolchain:
+// the Build hook returns crafted -m=2 and check_bce output aimed at the
+// bcequantizer fixture's marked lines, pinning every mapping rule (hotpath
+// gating, cold spans, allow coverage, model-known allocations, loop
+// spans) and the warm-cache behavior (no builds, same findings).
+func TestOracleMappingAndCache(t *testing.T) {
+	loader, pkg := loadFixture(t, "bcequantizer")
+	mod, _ := BuildSummaries(loader.Fset(), []*Package{pkg}, nil)
+
+	src := filepath.Join("testdata", "src", "bcequantizer", "bcequantizer.go")
+	abs, err := filepath.Abs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := oracleRelPath(loader.Root, abs)
+	line := func(marker string) int {
+		return fixtureMarkerLine(t, src, "oracle:"+marker)
+	}
+
+	escOut := strings.Join([]string{
+		"# fixture/bcequantizer",
+		fmt.Sprintf("%s:%d:9: s escapes to heap:", rel, line("in-loop")),
+		fmt.Sprintf("%s:%d:10: errNegative escapes to heap", rel, line("cold")),
+		fmt.Sprintf("%s:%d:7: xs escapes to heap", rel, line("allowed-escape")),
+		fmt.Sprintf("%s:%d:9: make([]int, n) escapes to heap:", rel, line("known-alloc")),
+		fmt.Sprintf("%s:%d:9: xs escapes to heap", rel, line("not-hotpath")),
+		"/usr/local/go/src/fmt/print.go:30:2: x escapes to heap",
+		"",
+	}, "\n")
+	bceOut := strings.Join([]string{
+		fmt.Sprintf("%s:%d:11: Found IsInBounds", rel, line("in-loop")),
+		fmt.Sprintf("%s:%d:2: Found IsInBounds", rel, line("outside-loop")),
+		fmt.Sprintf("%s:%d:3: Found IsInBounds", rel, line("allowed-bce")),
+		fmt.Sprintf("%s:%d:9: Found IsSliceInBounds", rel, line("not-hotpath")),
+		"",
+	}, "\n")
+
+	builds := 0
+	build := func(dir string, args ...string) ([]byte, error) {
+		builds++
+		for _, a := range args {
+			if strings.Contains(a, "-m=2") {
+				return []byte(escOut), nil
+			}
+		}
+		return []byte(bceOut), nil
+	}
+	opts := OracleOptions{
+		CachePath: filepath.Join(t.TempDir(), "oracle.json"),
+		Build:     build,
+		GoVersion: "go-fixture-1",
+	}
+
+	diags, stats, err := RunOracle(loader.Root, loader.ModulePath, loader.Fset(), []*Package{pkg}, mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHit {
+		t.Error("cold run reported a cache hit")
+	}
+	if builds != 2 {
+		t.Errorf("cold run ran %d builds, want 2", builds)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != OracleEscapeAnalyzer || diags[0].Pos.Line != line("in-loop") ||
+		!strings.Contains(diags[0].Message, "model sees no allocation") {
+		t.Errorf("unexpected escape diagnostic: %s", diags[0])
+	}
+	if diags[1].Analyzer != OracleBCEAnalyzer || diags[1].Pos.Line != line("in-loop") ||
+		!strings.Contains(diags[1].Message, "bounds check survives") {
+		t.Errorf("unexpected bce diagnostic: %s", diags[1])
+	}
+	if diags[0].Pos.Filename != abs {
+		t.Errorf("diagnostic filename %q, want %q", diags[0].Pos.Filename, abs)
+	}
+
+	// Warm: same key, no builds, no re-parse, same findings.
+	warm, wstats, err := RunOracle(loader.Root, loader.ModulePath, loader.Fset(), []*Package{pkg}, mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wstats.CacheHit {
+		t.Error("warm run missed the cache")
+	}
+	if builds != 2 {
+		t.Errorf("warm run re-ran builds (total %d, want 2)", builds)
+	}
+	if len(warm) != len(diags) {
+		t.Errorf("warm run found %d diagnostics, cold %d", len(warm), len(diags))
+	}
+	for i := range warm {
+		if warm[i].String() != diags[i].String() {
+			t.Errorf("warm diagnostic %d = %s, cold %s", i, warm[i], diags[i])
+		}
+	}
+
+	// A toolchain change invalidates the cache.
+	opts.GoVersion = "go-fixture-2"
+	_, vstats, err := RunOracle(loader.Root, loader.ModulePath, loader.Fset(), []*Package{pkg}, mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vstats.CacheHit {
+		t.Error("run with a new Go version hit the stale cache")
+	}
+	if builds != 4 {
+		t.Errorf("version change ran %d total builds, want 4", builds)
+	}
+}

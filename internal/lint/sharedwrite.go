@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"sort"
+)
+
+// SharedWrite flags struct fields written both from a goroutine-spawned
+// context and from a plain context with neither a mutex held nor an atomic
+// op — the static shape of a data race -race only reports when the
+// schedule actually overlaps the two writes. The goroutine side is
+// collected module-wide: a write is goroutine-context when it sits inside
+// a go'd function literal, or inside any function reachable from a `go`
+// call edge. The plain side anchors the report: an unlocked, non-atomic
+// write in a function that also has a non-goroutine invocation context.
+//
+// Exemptions, each matching a documented initialization pattern:
+// constructor-shaped functions (New*/new*/init); writes positioned before
+// the function's first `go` statement (init-before-spawn — positional, so
+// a spawn in an earlier-called function is not seen); and fields that
+// sync/atomic free functions access anywhere (atomic-mix owns those).
+// A deliberate single-writer protocol the model cannot see (for example,
+// writes serialized by a join) takes a //lint:allow shared-write comment
+// naming the ordering.
+func SharedWrite() *Analyzer {
+	a := &Analyzer{
+		Name: "shared-write",
+		Doc: "field written both from a goroutine-spawned context and a " +
+			"non-atomic, non-lock-guarded context; a static race candidate",
+	}
+	a.Run = func(pass *Pass) {
+		if !internalLibrary(pass.Path) {
+			return
+		}
+		facts := pass.Mod.sharedWriteFacts()
+		atomicFields := pass.Mod.AtomicFields()
+
+		keys := make([]string, 0, len(pass.Mod.Funcs))
+		for k, s := range pass.Mod.Funcs {
+			if s.Pkg == pass.Path {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := pass.Mod.Funcs[k]
+			if isConstructorName(funcBaseName(k)) {
+				continue
+			}
+			goCtx := facts.goReach[k]
+			for _, w := range s.FieldWrites {
+				if w.Go || w.Locked || goCtx {
+					continue
+				}
+				if !facts.plainReach[k] {
+					continue // only ever invoked from goroutine contexts
+				}
+				if _, isAtomic := atomicFields[w.Field]; isAtomic {
+					continue
+				}
+				witness, ok := firstOtherSite(facts.goWrites[w.Field], w.Site)
+				if !ok {
+					continue
+				}
+				if len(s.Spawns) > 0 && w.Site.File == s.Spawns[0].File &&
+					w.Site.Line < s.Spawns[0].Line {
+					continue // init-before-spawn
+				}
+				pass.ReportAt(w.Site.Position(),
+					"field %s written here without lock or atomic, and written from a goroutine-spawned context at %s; guard both sides or document the ordering with //lint:allow",
+					fieldShortName(w.Field), witness)
+			}
+		}
+	}
+	return a
+}
+
+// sharedWriteFacts is the module-wide goroutine-context picture.
+type sharedWriteFacts struct {
+	// goWrites maps each field key to its goroutine-context write sites.
+	goWrites map[string][]SiteRef
+	// goReach marks functions reachable from a `go` call edge (their every
+	// write is goroutine-context).
+	goReach map[string]bool
+	// plainReach marks functions with at least one non-goroutine invocation
+	// context: entry points (no static module callers — exported API,
+	// interface dispatch) and everything reachable from them over non-go
+	// call edges.
+	plainReach map[string]bool
+}
+
+// sharedWriteFacts builds (once) the goroutine-context write map.
+func (m *ModuleSummary) sharedWriteFacts() *sharedWriteFacts {
+	if m.sharedOnce {
+		return m.shared
+	}
+	m.sharedOnce = true
+
+	keys := make([]string, 0, len(m.Funcs))
+	for k := range m.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	incoming := make(map[string]bool)
+	var goRoots []string
+	for _, k := range keys {
+		for _, e := range m.Funcs[k].Calls {
+			incoming[e.Callee] = true
+			if e.Go {
+				goRoots = append(goRoots, e.Callee)
+			}
+		}
+	}
+
+	bfs := func(roots []string, follow func(e CallEdge) bool) map[string]bool {
+		reach := make(map[string]bool)
+		queue := append([]string(nil), roots...)
+		for len(queue) > 0 {
+			k := queue[0]
+			queue = queue[1:]
+			if reach[k] || m.Funcs[k] == nil {
+				continue
+			}
+			reach[k] = true
+			for _, e := range m.Funcs[k].Calls {
+				if follow(e) && !reach[e.Callee] {
+					queue = append(queue, e.Callee)
+				}
+			}
+		}
+		return reach
+	}
+
+	goReach := bfs(goRoots, func(e CallEdge) bool { return true })
+
+	var plainRoots []string
+	for _, k := range keys {
+		if !incoming[k] {
+			plainRoots = append(plainRoots, k)
+		}
+	}
+	plainReach := bfs(plainRoots, func(e CallEdge) bool { return !e.Go })
+
+	goWrites := make(map[string][]SiteRef)
+	for _, k := range keys {
+		s := m.Funcs[k]
+		inGo := goReach[k]
+		for _, w := range s.FieldWrites {
+			if w.Go || inGo {
+				goWrites[w.Field] = append(goWrites[w.Field], w.Site)
+			}
+		}
+	}
+
+	m.shared = &sharedWriteFacts{goWrites: goWrites, goReach: goReach, plainReach: plainReach}
+	return m.shared
+}
+
+// firstOtherSite returns the first site that is not at self's file:line.
+func firstOtherSite(sites []SiteRef, self SiteRef) (SiteRef, bool) {
+	for _, s := range sites {
+		if s.File != self.File || s.Line != self.Line {
+			return s, true
+		}
+	}
+	return SiteRef{}, false
+}
+
+// funcBaseName extracts the bare function or method name from a summary
+// key: "pkg.(*T).Method" -> "Method", "pkg.New" -> "New".
+func funcBaseName(key string) string {
+	short := shortFuncName(key)
+	if i := lastDot(short); i >= 0 {
+		return short[i+1:]
+	}
+	return short
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

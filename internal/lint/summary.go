@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"reflect"
@@ -92,6 +93,52 @@ type CallEdge struct {
 	// Cold marks a call made only on an error/panic branch; hotpath-alloc
 	// does not charge the caller for a cold callee's allocations.
 	Cold bool `json:"cold,omitempty"`
+	// Held lists the module-wide mutex keys held at the call site
+	// (positional window model); lock-order composes the callee's
+	// transitive acquisitions against them.
+	Held []string `json:"held,omitempty"`
+	// Go marks a call made from a goroutine-spawned context: `go f()`
+	// itself, or any call inside a go'd function literal.
+	Go bool `json:"go,omitempty"`
+}
+
+// LockUse records one acquisition of a module-wide-keyed mutex.
+type LockUse struct {
+	// Field is the mutex key: "pkgpath.Type.Field" for struct fields,
+	// "pkgpath.Name" for package-level mutexes.
+	Field string  `json:"field"`
+	Read  bool    `json:"read,omitempty"`
+	Site  SiteRef `json:"site"`
+}
+
+// LockPair records one nested acquisition inside a single function:
+// Acquired was taken at Site while Held was already held.
+type LockPair struct {
+	Held     string  `json:"held"`
+	Acquired string  `json:"acquired"`
+	HeldRead bool    `json:"held_read,omitempty"`
+	AcqRead  bool    `json:"acq_read,omitempty"`
+	Site     SiteRef `json:"site"`
+}
+
+// FieldWrite records one ordinary (non-atomic) store to a module-internal
+// struct field, with the concurrency context it happened in.
+type FieldWrite struct {
+	Field string  `json:"field"`
+	Site  SiteRef `json:"site"`
+	// Go: the store sits inside a go'd function literal.
+	Go bool `json:"go,omitempty"`
+	// Locked: the store sits inside a mutex hold window of its lock scope.
+	Locked bool `json:"locked,omitempty"`
+}
+
+// ChanOp records one operation on a module-wide-keyed channel (a struct
+// field or package-level var of channel type). Kind is one of "send",
+// "close", "make-unbuffered", "make-buffered".
+type ChanOp struct {
+	Field string  `json:"field"`
+	Kind  string  `json:"kind"`
+	Site  SiteRef `json:"site"`
 }
 
 // FieldUse records one access to a struct field, keyed as
@@ -148,6 +195,23 @@ type FuncSummary struct {
 	Plain  []FieldUse `json:"plain,omitempty"`
 	// Calls are the module-internal static call edges.
 	Calls []CallEdge `json:"calls,omitempty"`
+	// Acquires are the module-wide-keyed mutex acquisitions; LockPairs the
+	// nested ones (lock taken while another was held). Together with
+	// CallEdge.Held they define the module lock-acquisition graph.
+	Acquires  []LockUse  `json:"acquires,omitempty"`
+	LockPairs []LockPair `json:"lock_pairs,omitempty"`
+	// FieldWrites are the ordinary stores to module-internal struct fields,
+	// tagged with goroutine/lock context for shared-write.
+	FieldWrites []FieldWrite `json:"field_writes,omitempty"`
+	// ChanOps are sends/closes/makes on module-wide-keyed channels.
+	ChanOps []ChanOp `json:"chan_ops,omitempty"`
+	// Spawns are the function's `go` statement sites.
+	Spawns []SiteRef `json:"spawns,omitempty"`
+	// UsedAllows are //lint:allow directive lines this function's extraction
+	// consumed (Site.What names the analyzer). They persist in the summary
+	// cache so the stale-suppression check stays correct on warm runs, when
+	// extraction — and therefore live directive consumption — is skipped.
+	UsedAllows []SiteRef `json:"used_allows,omitempty"`
 }
 
 // ModuleSummary is the summary table for every function of the loaded
@@ -159,6 +223,15 @@ type ModuleSummary struct {
 	atomicFields map[string][]SiteRef
 
 	transMemo map[string]*AllocWitness
+
+	lockOnce  bool
+	lockEdges []lockEdge
+
+	sharedOnce bool
+	shared     *sharedWriteFacts
+
+	chanOnce bool
+	chans    *chanFacts
 }
 
 // AllocWitness is the proof attached to a transitive hot-path allocation:
@@ -499,6 +572,10 @@ type extractor struct {
 	coldSpans  []posRange
 	skipAlloc  map[token.Pos]bool // pool warm-up refills: *poolPtr = make(...)
 	paramIdx   map[types.Object]int
+
+	lockScopes []lockScope
+	goSpans    []posRange        // bodies of go'd function literals
+	goCalls    map[ast.Node]bool // the CallExpr of a direct `go f(...)`
 }
 
 type posRange struct{ lo, hi token.Pos }
@@ -510,9 +587,37 @@ func (x *extractor) site(pos token.Pos, what string) SiteRef {
 }
 
 // allowedAtPos reports whether a //lint:allow comment for analyzer name
-// covers pos.
+// covers pos, recording the consumed directive line in UsedAllows so the
+// stale-suppression check sees extraction-time consumption even on warm
+// summary-cache runs.
 func (x *extractor) allowedAtPos(pos token.Pos, name string) bool {
-	return allowCovers(x.allow, x.fset.Position(pos), name)
+	p := x.fset.Position(pos)
+	if !allowCovers(x.allow, p, name) {
+		return false
+	}
+	lines := x.allow[p.Filename]
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if names := lines[line]; names != nil && names[name] {
+			x.sum.UsedAllows = appendUsedAllows(x.sum.UsedAllows,
+				SiteRef{File: p.Filename, Line: line, What: name})
+		}
+	}
+	return true
+}
+
+// appendUsedAllows appends with deduplication under a generous cap (a
+// dropped entry would surface as a false stale directive, so the cap is
+// far above any plausible per-function directive count).
+func appendUsedAllows(dst []SiteRef, s SiteRef) []SiteRef {
+	for _, d := range dst {
+		if d == s {
+			return dst
+		}
+	}
+	if len(dst) >= 4*maxTrackedParams {
+		return dst
+	}
+	return append(dst, s)
 }
 
 // allowCovers is the shared line-or-line-above allow check.
@@ -573,6 +678,7 @@ func extractSummary(fset *token.FileSet, pkg *Package, fn *ast.FuncDecl, allow m
 	}
 
 	x.collectStructure()
+	x.collectConcurrency()
 	x.propagateFlows()
 	x.collectFacts()
 
@@ -726,6 +832,208 @@ func (x *extractor) guardedAt(obj types.Object, pos token.Pos) bool {
 		}
 	}
 	return false
+}
+
+// collectConcurrency gathers the lock/goroutine/channel facts: mutex
+// acquisitions and nested pairs, go-spawn sites and go'd-literal spans,
+// ordinary field writes tagged with their concurrency context, and
+// channel-field operations. It runs before collectFacts so call edges can
+// carry held-lock and goroutine context.
+func (x *extractor) collectConcurrency() {
+	info := x.pkg.Info
+	x.lockScopes = collectLockScopes(info, x.fn)
+	x.goCalls = make(map[ast.Node]bool)
+
+	// Spawn sites, go'd literal spans, and direct go-call marking.
+	ast.Inspect(x.fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		x.sum.Spawns = appendSites(x.sum.Spawns, x.site(g.Pos(), "go statement"))
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			x.goSpans = append(x.goSpans, posRange{lit.Body.Pos(), lit.Body.End()})
+		} else {
+			x.goCalls[g.Call] = true
+		}
+		return true
+	})
+
+	// Mutex acquisitions and nested pairs.
+	for si := range x.lockScopes {
+		sc := &x.lockScopes[si]
+		for _, e := range sc.events {
+			if e.unlock || e.deferred {
+				continue
+			}
+			if e.key != "" && len(x.sum.Acquires) < 4*maxSummarySites {
+				what := "Lock"
+				if e.read {
+					what = "RLock"
+				}
+				x.sum.Acquires = append(x.sum.Acquires,
+					LockUse{Field: e.key, Read: e.read, Site: x.site(e.pos, what)})
+			}
+			for _, h := range sc.heldAt(e.pos) {
+				if h.key == "" || e.key == "" {
+					continue
+				}
+				if h.key == e.key {
+					if h.recv != e.recv {
+						continue // two instances of one field: no static order
+					}
+					if h.read && e.read {
+						continue // nested RLock of one mutex is legal
+					}
+				}
+				if len(x.sum.LockPairs) >= 4*maxSummarySites {
+					break
+				}
+				x.sum.LockPairs = append(x.sum.LockPairs, LockPair{
+					Held: h.key, Acquired: e.key,
+					HeldRead: h.read, AcqRead: e.read,
+					Site: x.site(e.pos, shortLockName(e.key)),
+				})
+			}
+		}
+	}
+
+	// Ordinary field writes and channel operations.
+	ast.Inspect(x.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				x.noteFieldWrite(lhs)
+				if key := chanKeyOf(info, lhs); key != "" && len(n.Rhs) == len(n.Lhs) {
+					if kind := makeChanKind(info, n.Rhs[i]); kind != "" {
+						x.addChanOp(key, kind, n.Rhs[i].Pos())
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			x.noteFieldWrite(n.X)
+		case *ast.SendStmt:
+			if key := chanKeyOf(info, n.Chan); key != "" {
+				x.addChanOp(key, "send", n.Arrow)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if key := chanKeyOf(info, n.Args[0]); key != "" {
+						x.addChanOp(key, "close", n.Pos())
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			x.noteCompositeChans(n)
+		}
+		return true
+	})
+}
+
+// noteFieldWrite records an ordinary store to a module-internal struct
+// field, tagged with its goroutine and lock context.
+func (x *extractor) noteFieldWrite(lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	key := fieldKeyAnyOf(x.pkg.Info, sel)
+	if key == "" || len(x.sum.FieldWrites) >= 4*maxSummarySites {
+		return
+	}
+	pos := sel.Pos()
+	x.sum.FieldWrites = append(x.sum.FieldWrites, FieldWrite{
+		Field:  key,
+		Site:   x.site(pos, "write"),
+		Go:     x.inGoSpan(pos),
+		Locked: len(heldLocksAt(x.lockScopes, pos)) > 0,
+	})
+}
+
+// inGoSpan reports whether pos sits inside a go'd function literal.
+func (x *extractor) inGoSpan(pos token.Pos) bool {
+	for _, r := range x.goSpans {
+		if pos >= r.lo && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// addChanOp records one channel operation under the shared cap.
+func (x *extractor) addChanOp(key, kind string, pos token.Pos) {
+	if len(x.sum.ChanOps) >= 4*maxSummarySites {
+		return
+	}
+	x.sum.ChanOps = append(x.sum.ChanOps, ChanOp{Field: key, Kind: kind, Site: x.site(pos, kind)})
+}
+
+// makeChanKind classifies e when it is make(chan T[, n]): a constant-zero
+// or absent capacity is "make-unbuffered"; anything else — including a
+// non-constant capacity, which cannot be proven unbuffered — is
+// "make-buffered".
+func makeChanKind(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return ""
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return ""
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	if _, ok := tv.Type.Underlying().(*types.Chan); !ok {
+		return ""
+	}
+	if len(call.Args) < 2 {
+		return "make-unbuffered"
+	}
+	if ctv, ok := info.Types[call.Args[1]]; ok && ctv.Value != nil {
+		if v, exact := constant.Int64Val(ctv.Value); exact && v == 0 {
+			return "make-unbuffered"
+		}
+	}
+	return "make-buffered"
+}
+
+// noteCompositeChans records channel makes inside a struct composite
+// literal (the constructor idiom: &P{events: make(chan int)}).
+func (x *extractor) noteCompositeChans(lit *ast.CompositeLit) {
+	info := x.pkg.Info
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !internalLibrary(named.Obj().Pkg().Path()) {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyID, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		kind := makeChanKind(info, kv.Value)
+		if kind == "" {
+			continue
+		}
+		x.addChanOp(named.Obj().Pkg().Path()+"."+named.Obj().Name()+"."+keyID.Name,
+			kind, kv.Value.Pos())
+	}
 }
 
 // exprFlow resolves the abstract value of an expression as used at its own
@@ -1257,11 +1565,33 @@ func (x *extractor) factsForCall(call *ast.CallExpr) {
 	if s == nil {
 		return // external or bodyless: not followed
 	}
-	x.sum.Calls = append(x.sum.Calls, CallEdge{
+	edge := CallEdge{
 		Callee: key,
 		Site:   x.site(call.Pos(), shortFuncName(key)),
 		Cold:   x.inCold(call.Pos()),
-	})
+		Go:     x.goCalls[call] || x.inGoSpan(call.Pos()),
+	}
+	// A directly spawned call (`go f()`) runs on a fresh goroutine, which
+	// holds none of the spawner's locks — its edge carries no Held set.
+	if !x.goCalls[call] {
+		for _, h := range heldLocksAt(x.lockScopes, call.Pos()) {
+			if h.key == "" {
+				continue
+			}
+			dup := false
+			for _, k := range edge.Held {
+				if k == h.key {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				edge.Held = append(edge.Held, h.key)
+			}
+		}
+		sort.Strings(edge.Held)
+	}
+	x.sum.Calls = append(x.sum.Calls, edge)
 
 	// Inherit wire-write and untrusted-sink behavior through the call —
 	// except when the callee is itself a reporting entry point (an
@@ -1447,8 +1777,28 @@ func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr) string {
 			return ""
 		}
 	}
-	// Recv type names the struct (embedded fields key under the outermost
-	// receiver type, which is how callers see them).
+	return fieldKeyFor(s, field)
+}
+
+// fieldKeyAnyOf is fieldKeyOf without the atomic-eligibility type filter:
+// it keys any module-internal struct field. The concurrency facts (mutex
+// fields, field writes, channel fields) use it.
+func fieldKeyAnyOf(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil || !internalLibrary(field.Pkg().Path()) {
+		return ""
+	}
+	return fieldKeyFor(s, field)
+}
+
+// fieldKeyFor renders the "pkgpath.Type.Field" key for a selection. Recv
+// names the struct (embedded fields key under the outermost receiver type,
+// which is how callers see them).
+func fieldKeyFor(s *types.Selection, field *types.Var) string {
 	recv := s.Recv()
 	for {
 		if p, ok := recv.(*types.Pointer); ok {

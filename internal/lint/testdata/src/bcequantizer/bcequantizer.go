@@ -1,0 +1,54 @@
+// Package bcequantizer is a sketchlint oracle-mapping fixture. The
+// package name ends in "quantizer", so the bce-hotpath gate applies; the
+// functions give the mapping tests hotpath, cold, loop, allow-covered,
+// and model-known spans to aim synthetic compiler diagnostics at. The
+// "oracle:" markers let the tests resolve line numbers without hardcoding.
+package bcequantizer
+
+import "errors"
+
+var errNegative = errors.New("bcequantizer: negative sum")
+
+// Sum is the hot loop: a surviving bounds check inside the for body is a
+// bce-hotpath finding, the same site doubles as escape-oracle drift, the
+// error branch is cold, and the return sits outside any loop.
+//
+//sketchlint:hotpath fixture hot loop
+func Sum(xs, idx []int) (int, error) {
+	s := 0
+	for i := 0; i < len(idx); i++ {
+		s += xs[idx[i]] // oracle:in-loop
+	}
+	if s < 0 {
+		return 0, errNegative // oracle:cold
+	}
+	return s, nil // oracle:outside-loop
+}
+
+// Allowed documents its sites; covered lines produce no findings.
+//
+//sketchlint:hotpath fixture allow-covered lines
+func Allowed(xs []int) int {
+	//lint:allow hotpath-alloc fixture: scratch is amortized by the caller
+	s := xs[0] // oracle:allowed-escape
+	t := 0
+	for _, v := range xs {
+		//lint:allow bce-hotpath fixture: profile shows the check is free here
+		t += v // oracle:allowed-bce
+	}
+	return s + t
+}
+
+// KnownAlloc allocates where the model can see it: a compiler escape at a
+// summary Alloc site is agreement, not drift.
+//
+//sketchlint:hotpath fixture model-known allocation
+func KnownAlloc(n int) []int {
+	buf := make([]int, n) // oracle:known-alloc
+	return buf
+}
+
+// Cold is not hotpath: oracle sites here never map to findings.
+func Cold(xs []int) int {
+	return xs[0] // oracle:not-hotpath
+}

@@ -1,0 +1,114 @@
+// Package chandiscipline is a sketchlint test fixture for the
+// chan-discipline analyzer: sends on possibly-closed channels (positional
+// and cross-function), unbuffered sends under a mutex, and blocking
+// selects inside hotpath functions.
+package chandiscipline
+
+import "sync"
+
+// P carries an unbuffered events channel and a done channel one function
+// closes while another sends.
+type P struct {
+	mu     sync.Mutex
+	events chan int
+	done   chan struct{}
+}
+
+// New makes both channels unbuffered inside the composite literal.
+func New() *P {
+	return &P{
+		events: make(chan int),
+		done:   make(chan struct{}),
+	}
+}
+
+// Notify sends on the unbuffered events channel with mu held: the send
+// blocks until a receiver arrives and the mutex queue stalls behind it.
+func (p *P) Notify(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events <- v // want "unbuffered send"
+}
+
+// Stop closes done.
+func (p *P) Stop() {
+	close(p.done)
+}
+
+// Emit sends on the channel Stop closes; nothing orders the two.
+func (p *P) Emit() {
+	p.done <- struct{}{} // want "closes this channel"
+}
+
+// Local sends on a locally made unbuffered channel while holding the
+// mutex — same stall, local evidence.
+func (p *P) Local() {
+	ch := make(chan int)
+	p.mu.Lock()
+	ch <- 1 // want "unbuffered send"
+	p.mu.Unlock()
+	<-ch
+}
+
+// localAfterClose sends after a non-deferred close on the same path.
+func localAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "after close"
+}
+
+// localOK sends before closing: the legal order.
+func localOK() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// B sends on a buffered field channel under the mutex: a buffered send
+// does not block while space remains, so it stays silent.
+type B struct {
+	mu  sync.Mutex
+	buf chan int
+}
+
+// NewB sizes the buffer in the constructor.
+func NewB() *B { return &B{buf: make(chan int, 8)} }
+
+func (b *B) Put(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf <- v
+}
+
+// HotSelect parks the hot path in the scheduler: no default case.
+//
+//sketchlint:hotpath fixture hot wait
+func (p *P) HotSelect() int {
+	select { // want "blocking select"
+	case v := <-p.events:
+		return v
+	}
+}
+
+// HotSelectOK polls: the default case keeps the hot path moving.
+//
+//sketchlint:hotpath fixture hot poll
+func (p *P) HotSelectOK() int {
+	select {
+	case v := <-p.events:
+		return v
+	default:
+		return 0
+	}
+}
+
+// HotSpawn's select runs on a spawned goroutine, not the hot path.
+//
+//sketchlint:hotpath fixture spawned wait
+func (p *P) HotSpawn() {
+	go func() {
+		select {
+		case <-p.done:
+		}
+	}()
+}

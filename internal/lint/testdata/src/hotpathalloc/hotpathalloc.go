@@ -69,3 +69,11 @@ func HotAllowed() []byte {
 func ColdCaller() []byte {
 	return make([]byte, 1024)
 }
+
+// HotGeneric pins that the directive binds to type-parameterized functions
+// the same way it binds to plain ones.
+//
+//sketchlint:hotpath
+func HotGeneric[T any](n int) []T {
+	return make([]T, n) // want "make on hot path HotGeneric"
+}

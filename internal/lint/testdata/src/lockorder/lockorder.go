@@ -1,0 +1,114 @@
+// Package lockorder is a sketchlint test fixture for the lock-order
+// analyzer: cycles in the module-wide lock-acquisition graph and
+// non-reentrant re-acquisition, with the documented skips (consistent
+// global order, nested read locks, two instances of one field).
+package lockorder
+
+import "sync"
+
+// S carries the two mutexes whose acquisition order the positives invert.
+type S struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	a   int
+	b   int
+}
+
+// AB takes muB while holding muA: the A -> B direction of the cycle. The
+// cycle witness anchors here because muA sorts first among the keys.
+func (s *S) AB() {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	s.muB.Lock() // want "lock-order cycle"
+	s.b++
+	s.muB.Unlock()
+}
+
+// BA closes the cycle through a call: it holds muB while lockA acquires
+// muA — the interprocedural direction a single-function check misses.
+func (s *S) BA() {
+	s.muB.Lock()
+	defer s.muB.Unlock()
+	s.lockA()
+}
+
+func (s *S) lockA() {
+	s.muA.Lock()
+	s.a++
+	s.muA.Unlock()
+}
+
+// Re re-acquires muA through a helper while already holding it.
+func (s *S) Re() {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	s.helper() // want "not reentrant"
+}
+
+func (s *S) helper() {
+	s.muA.Lock()
+	s.a++
+	s.muA.Unlock()
+}
+
+// mu is a package-level mutex for the direct re-acquisition positive.
+var mu sync.Mutex
+
+// Twice re-locks the package mutex directly: guaranteed self-deadlock.
+func Twice() {
+	mu.Lock()
+	mu.Lock() // want "not reentrant"
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// O nests muC then muD in the same order everywhere: a consistent global
+// order is exactly what the analyzer demands, so both functions are clean.
+type O struct {
+	muC sync.Mutex
+	muD sync.Mutex
+	n   int
+}
+
+func (o *O) Both() {
+	o.muC.Lock()
+	defer o.muC.Unlock()
+	o.muD.Lock()
+	o.n++
+	o.muD.Unlock()
+}
+
+func (o *O) Again() {
+	o.muC.Lock()
+	o.muD.Lock()
+	o.n--
+	o.muD.Unlock()
+	o.muC.Unlock()
+}
+
+// R holds a read lock while taking the same read lock again; nested RLock
+// of one mutex is legal and stays silent.
+type R struct {
+	rw sync.RWMutex
+	n  int
+}
+
+func (r *R) ReadNested() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	r.rw.RLock()
+	v := r.n
+	r.rw.RUnlock()
+	return v
+}
+
+// Merge locks the same field on two different instances. The two
+// acquisitions share a key but no static order exists between instances,
+// so the direct pair is skipped by design.
+func Merge(x, y *S) {
+	x.muA.Lock()
+	y.muA.Lock()
+	x.a += y.a
+	y.muA.Unlock()
+	x.muA.Unlock()
+}

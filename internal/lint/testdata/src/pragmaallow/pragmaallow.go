@@ -1,0 +1,14 @@
+// Package pragmaallow is a sketchlint test fixture for the two allow
+// shapes whose diagnostics cannot embed want comments — any trailing text
+// would read as names or as the justification the check looks for. The
+// expectations live in the test instead (TestPragmaAllowForms).
+package pragmaallow
+
+// Eq carries an allow with no analyzer names and an allow with a name but
+// no justification.
+func Eq(a, b float64) bool {
+	//lint:allow
+	eq := a == b
+	//lint:allow float-equality
+	return eq
+}

@@ -1,0 +1,88 @@
+// Package sharedwrite is a sketchlint test fixture for the shared-write
+// analyzer: struct fields written both from a goroutine-spawned context
+// and from a plain unguarded one, with the documented exemptions
+// (constructors, init-before-spawn, locked or atomic fields).
+package sharedwrite
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// C is the shared state the positives race on.
+type C struct {
+	mu    sync.Mutex
+	n     int
+	m     int
+	state int
+}
+
+// New is constructor-shaped: its writes happen before the value escapes,
+// so they are exempt even though n also has goroutine-side writes.
+func New() *C {
+	c := &C{}
+	c.n = 0
+	return c
+}
+
+// Run writes n before spawning (exempt), inside the goroutine (the
+// witness), and after spawning (the race anchor).
+func (c *C) Run() {
+	c.n = 1
+	go func() {
+		c.n++
+		c.state = 2
+	}()
+	c.n = 3 // want "written from a goroutine-spawned context"
+}
+
+// SpawnWorker puts worker into goroutine context through the call graph,
+// not a literal — the cross-function direction.
+func (c *C) SpawnWorker() {
+	go c.worker()
+}
+
+func (c *C) worker() {
+	c.m++
+}
+
+// Other writes m from a plain context while worker writes it from a
+// spawned one; neither side is guarded.
+func (c *C) Other() {
+	c.m = 5 // want "without lock or atomic"
+}
+
+// LockedWrite holds the mutex; a guarded write is never the anchor.
+func (c *C) LockedWrite() {
+	c.mu.Lock()
+	c.n = 7
+	c.mu.Unlock()
+}
+
+// LockedSpawn's goroutine write is also guarded; state has no unguarded
+// plain write anywhere, so it stays silent.
+func (c *C) LockedSpawn() {
+	go func() {
+		c.mu.Lock()
+		c.state = 1
+		c.mu.Unlock()
+	}()
+}
+
+// A mixes a plain store with sync/atomic access on one field. The
+// atomic-mix analyzer owns that pattern; shared-write defers to it.
+type A struct {
+	flag int64
+}
+
+func (a *A) Get() int64 { return atomic.LoadInt64(&a.flag) }
+
+func (a *A) Mixed() {
+	go func() {
+		a.flag = 2
+	}()
+}
+
+func (a *A) Reset() {
+	a.flag = 0
+}

@@ -363,7 +363,7 @@ func DecodeGroupedReuse(data []byte, seed uint64, g *Grouped) (*Grouped, int, er
 		g.groups = g.groups[:n]
 	} else {
 		old := g.groups[:cap(g.groups)]
-		//lint:allow hotpath-alloc,unbounded-wire-alloc n is bounds-checked (≤ 1<<16) above; grows reusable group storage, amortized to zero once warm
+		//lint:allow hotpath-alloc grows reusable group storage, amortized to zero once warm; n is bounds-checked (≤ 1<<16) above
 		g.groups = make([]*Sketch, n)
 		copy(g.groups, old)
 	}

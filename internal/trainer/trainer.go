@@ -760,14 +760,18 @@ func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, stri
 		//lint:allow hotpath-alloc recvGradient allocates only on fault paths (decode error, strict-mode abort); the clean-path receive is allocation-free
 		outs[0] = recvGradient(cfg, driverSide[0], 0, round, &reuse[0])
 	} else {
+		//lint:allow escape-oracle the WaitGroup is shared with W goroutines so it must live on the heap; one per round, not per byte
 		var wg sync.WaitGroup
 		wg.Add(cfg.Workers)
 		for w := 0; w < cfg.Workers; w++ {
+			// cfg travels as a goroutine argument (copied onto the new
+			// goroutine's stack): captured, the >128-byte struct would be
+			// moved to the heap by reference once per round.
 			//lint:allow hotpath-alloc one goroutine closure per worker per round; the fan-out is the parallel-decode design
-			go func(w int) {
+			go func(w int, cfg Config) {
 				defer wg.Done()
 				outs[w] = recvGradient(cfg, driverSide[w], w, round, &reuse[w])
-			}(w)
+			}(w, cfg)
 		}
 		wg.Wait()
 	}
