@@ -19,7 +19,7 @@ SMOKE_FUZZTIME ?= 5s
 # really executes.
 MATRIX_GOMAXPROCS   ?= 1 2 8
 MATRIX_PARALLELISM  ?= 0 1 4
-MATRIX_PKGS         ?= ./internal/codec ./internal/trainer ./internal/cluster
+MATRIX_PKGS         ?= ./internal/codec ./internal/trainer ./internal/cluster ./internal/service
 # Flags for `make bench`; override with e.g. BENCHFLAGS=-benchtime=1x for a
 # smoke run that only checks the pipeline still works.
 BENCHFLAGS ?= -benchtime=0.5s
@@ -53,9 +53,11 @@ LINT_ORACLE_CACHE ?= .sketchlint-oracle-cache.json
 FUZZ_TARGETS := \
 	./internal/codec:FuzzSketchMLDecode \
 	./internal/keycoding:FuzzDeltaRoundTrip \
-	./internal/keycoding:FuzzDecodeDeltaRobust
+	./internal/keycoding:FuzzDecodeDeltaRobust \
+	./internal/trainer:FuzzCheckpointDecode \
+	./internal/service:FuzzJobSpecDecode
 
-.PHONY: all build fmt vet lint lint-stats lint-self test race race-matrix chaos-soak fuzz fuzz-smoke bench bench-check verify clean
+.PHONY: all build fmt vet lint lint-stats lint-self test race race-matrix chaos-soak fuzz fuzz-smoke bench bench-check service-smoke verify clean
 
 all: verify
 
@@ -164,7 +166,16 @@ bench-check:
 	@$(GO) run ./cmd/benchjson -compare BENCH_codec.json -threshold $(BENCH_TOLERANCE) -ceilings $(BENCH_CEILINGS) $(BENCH_COMPARE_FLAGS) < bench.out; \
 		rc=$$?; rm -f bench.out; exit $$rc
 
-verify: build fmt vet lint lint-self test race-matrix chaos-soak fuzz-smoke
+# service-smoke is the end-to-end control-plane gate: build the real
+# binary, start it in -serve mode, submit a job over HTTP and poll it to
+# completion, then SIGTERM the process mid-run on a second job and demand a
+# clean drain — checkpoint on disk, exit code 0. The test itself lives in
+# cmd/sketchml/serve_smoke_test.go, gated behind the env var so plain
+# `go test ./...` stays fast.
+service-smoke:
+	SKETCHML_SERVICE_SMOKE=1 $(GO) test -count=1 -run TestServiceSmoke -v ./cmd/sketchml
+
+verify: build fmt vet lint lint-self test race-matrix chaos-soak fuzz-smoke service-smoke
 	@echo "verify: all gates passed"
 
 clean:

@@ -7,6 +7,7 @@
 //	sketchml -data kdd12 -model LR -codec sketchml -workers 10 -epochs 5
 //	sketchml -data path/to/file.libsvm -model SVM -codec zipml16
 //	sketchml -data kdd10 -codec adam -tcp            # real loopback TCP
+//	sketchml -serve 127.0.0.1:8080                   # training service mode
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux (served only with -pprof)
 	"os"
+	"time"
 
 	"sketchml"
 	"sketchml/internal/codec"
@@ -46,12 +48,28 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a validated JSON run report (per-epoch wire bytes, compression ratio, stage times, sketch error, full metrics snapshot) to this path; topology=driver only")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the duration of the run")
 	)
+	var so serveOptions
+	flag.StringVar(&so.addr, "serve", "", "run as a long-lived training service on this address (e.g. 127.0.0.1:8080); training flags are ignored, jobs arrive via the HTTP control API")
+	flag.StringVar(&so.checkpointDir, "checkpoint-dir", "", "serve mode: persist job checkpoints to this directory (crash-safe; empty = in-memory only)")
+	flag.IntVar(&so.maxWorkers, "serve-max-workers", 0, "serve mode: per-job worker budget (0 = default)")
+	flag.IntVar(&so.maxEpochs, "serve-max-epochs", 0, "serve mode: per-job epoch budget (0 = default)")
+	flag.IntVar(&so.maxQueue, "serve-max-queue", 0, "serve mode: pending-job queue bound (0 = default)")
+	flag.IntVar(&so.maxConcurrent, "serve-max-concurrent", 0, "serve mode: jobs running at once (0 = default)")
+	flag.DurationVar(&so.maxWallClock, "serve-max-wallclock", 0, "serve mode: per-job wall-clock budget cap (0 = default)")
+	flag.IntVar(&so.retryBudget, "serve-retry-budget", -1, "serve mode: supervisor restarts per failed job (-1 = default)")
+	flag.DurationVar(&so.drainTimeout, "drain-timeout", 30*time.Second, "serve mode: how long a SIGTERM drain waits for running jobs to checkpoint before hard-cancelling")
 	flag.Parse()
-	if *metricsOut != "" && *topology != "driver" {
-		fatal(fmt.Errorf("-metrics-out requires -topology driver (got %q)", *topology))
+	if err := validateFlags(so.addr, *metricsOut, *topology); err != nil {
+		fatal(err)
 	}
 	if *pprofAddr != "" {
 		startPprof(*pprofAddr)
+	}
+	if so.addr != "" {
+		if err := runServe(so); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	ds, err := loadDataset(*data, *seed)
@@ -140,6 +158,23 @@ func main() {
 		}
 		fmt.Println(")")
 	}
+}
+
+// validateFlags cross-checks flag combinations that cannot be rejected by
+// any single flag's parser. It runs before any work starts so a bad
+// combination is a fast, explicit startup error rather than a surprise
+// after minutes of training.
+func validateFlags(serveAddr, metricsOut, topology string) error {
+	if serveAddr != "" {
+		if metricsOut != "" {
+			return fmt.Errorf("-metrics-out cannot be combined with -serve; fetch per-job metrics via GET /jobs/{id}?metrics=1")
+		}
+		return nil
+	}
+	if metricsOut != "" && topology != "driver" {
+		return fmt.Errorf("-metrics-out requires -topology driver (got %q)", topology)
+	}
+	return nil
 }
 
 // startPprof serves net/http/pprof for the process lifetime. The listener

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Satellite of the service PR: a -metrics-out request with a topology that
+// cannot produce a run report must be an explicit startup error, not a
+// silently missing file at the end of the run.
+func TestValidateFlagsMetricsOutTopology(t *testing.T) {
+	cases := []struct {
+		name             string
+		serve, out, topo string
+		wantErr          bool
+		wantErrSubstring string
+	}{
+		{name: "driver with report", out: "m.json", topo: "driver"},
+		{name: "driver without report", topo: "driver"},
+		{name: "ps without report", topo: "ps"},
+		{name: "ssp without report", topo: "ssp"},
+		{name: "ps with report", out: "m.json", topo: "ps",
+			wantErr: true, wantErrSubstring: `-metrics-out requires -topology driver (got "ps")`},
+		{name: "ssp with report", out: "m.json", topo: "ssp",
+			wantErr: true, wantErrSubstring: `-metrics-out requires -topology driver (got "ssp")`},
+		{name: "serve mode ignores topology", serve: "127.0.0.1:0", topo: "ssp"},
+		{name: "serve mode rejects metrics-out", serve: "127.0.0.1:0", out: "m.json", topo: "driver",
+			wantErr: true, wantErrSubstring: "-metrics-out cannot be combined with -serve"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.serve, tc.out, tc.topo)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("validateFlags(%q, %q, %q) = nil, want error", tc.serve, tc.out, tc.topo)
+				}
+				if !strings.Contains(err.Error(), tc.wantErrSubstring) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErrSubstring)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("validateFlags(%q, %q, %q) = %v, want nil", tc.serve, tc.out, tc.topo, err)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -302,39 +303,88 @@ func jitteredBackoff(rng *rand.Rand, backoff time.Duration) time.Duration {
 	return half + time.Duration(rng.Int63n(int64(backoff-half)+1))
 }
 
+// ErrDialPermanent classifies dial failures that retrying cannot heal: an
+// unresolvable host, a malformed address, or a cancelled context. Callers
+// deciding whether to re-dial (the service supervisor, most prominently)
+// check errors.Is against this sentinel instead of parsing messages; a
+// deadline exhaustion ("gave up") is deliberately NOT permanent — the
+// listener may simply not be up yet.
+var ErrDialPermanent = errors.New("permanent dial failure")
+
 // Dial connects to a framed TCP listener. Transient failures (connection
 // refused while the driver is still binding, timeouts) are retried with
 // exponential backoff until dialDeadline; permanent failures (unresolvable
 // host, malformed address) abort immediately. The returned error wraps the
 // last dial error and records how many attempts were made.
-func Dial(addr string) (Conn, error) { return DialObserved(addr, nil) }
+func Dial(addr string) (Conn, error) { return DialContextObserved(context.Background(), addr, nil) }
+
+// DialContext is Dial bounded by a context: both the in-flight connect
+// attempt and the backoff sleeps between attempts abort as soon as ctx is
+// done, returning an error that wraps ctx.Err() and ErrDialPermanent.
+func DialContext(ctx context.Context, addr string) (Conn, error) {
+	return DialContextObserved(ctx, addr, nil)
+}
 
 // DialObserved is Dial with retry accounting: every retried attempt (i.e.
 // attempts beyond the first) increments retries. A nil counter records
 // nothing, so Dial delegates here unconditionally.
 func DialObserved(addr string, retries *obs.Counter) (Conn, error) {
+	return DialContextObserved(context.Background(), addr, retries)
+}
+
+// sleepInterruptible sleeps for d unless ctx is done first, reporting
+// whether the full sleep elapsed. The uncancellable case keeps the plain
+// time.Sleep (no timer allocation).
+func sleepInterruptible(ctx context.Context, d time.Duration) bool {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// DialContextObserved combines DialContext and DialObserved.
+func DialContextObserved(ctx context.Context, addr string, retries *obs.Counter) (Conn, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	deadline := time.Now().Add(dialDeadline)
 	backoff := dialInitialBackoff
 	// Seeded per-call source: deterministic given the seed and call index,
 	// distinct across concurrent dialers so their retries spread out.
 	rng := rand.New(rand.NewSource(dialJitterSeed + dialCalls.Add(1)*15485863))
+	d := net.Dialer{Timeout: dialAttemptTimeout}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		c, err := net.DialTimeout("tcp", addr, dialAttemptTimeout)
+		c, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return WrapNetConn(c), nil
 		}
 		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("cluster: dial %s: %w after %d attempt(s): %w",
+				addr, ErrDialPermanent, attempt, cerr)
+		}
 		if !transientDialError(err) {
-			return nil, fmt.Errorf("cluster: dial %s: permanent error after %d attempt(s): %w",
-				addr, attempt, lastErr)
+			return nil, fmt.Errorf("cluster: dial %s: %w after %d attempt(s): %w",
+				addr, ErrDialPermanent, attempt, lastErr)
 		}
 		if time.Now().Add(backoff).After(deadline) {
 			return nil, fmt.Errorf("cluster: dial %s: gave up after %d attempt(s): %w",
 				addr, attempt, lastErr)
 		}
 		retries.Inc()
-		time.Sleep(jitteredBackoff(rng, backoff))
+		if !sleepInterruptible(ctx, jitteredBackoff(rng, backoff)) {
+			return nil, fmt.Errorf("cluster: dial %s: %w: cancelled mid-backoff after %d attempt(s): %w",
+				addr, ErrDialPermanent, attempt, ctx.Err())
+		}
 		backoff *= 2
 		if backoff > dialMaxBackoff {
 			backoff = dialMaxBackoff

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler builds the control API on a standard mux:
+//
+//	POST   /jobs      submit a job (JSON JobSpec body)      → 202 Status
+//	GET    /jobs      list all jobs                         → 200 []Status
+//	GET    /jobs/{id} one job's status (+?metrics=1)        → 200 Status
+//	DELETE /jobs/{id} cancel a job                          → 202 Status
+//	GET    /healthz   process liveness                      → 200 always
+//	GET    /readyz    accepting jobs?                       → 200 / 503 while draining
+//
+// Errors are JSON {"error": "..."} with the status code carrying the
+// classification (400 bad spec, 404 unknown job, 409 name conflict, 429
+// queue full, 503 draining).
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeError(w, http.StatusServiceUnavailable, ErrDraining)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+// statusWithMetrics extends the status JSON with the job's full metrics
+// snapshot when requested.
+type statusWithMetrics struct {
+	Status
+	Metrics any `json:"metrics,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// MaxBytesReader tears the connection down past the cap; DecodeJobSpec
+	// enforces the same bound on what it buffers.
+	body := http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	spec, err := DecodeJobSpec(body, s.limits.MaxBodyBytes, s.limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, submitStatusCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func submitStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if r.URL.Query().Get("metrics") == "1" {
+		writeJSON(w, http.StatusOK, statusWithMetrics{
+			Status:  job.Status(),
+			Metrics: job.Metrics.Snapshot(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The header is out; an encode failure (client gone, marshal error) has
+	// no channel left to report on.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,300 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sketchml/internal/dataset"
+	"sketchml/internal/obs"
+	"sketchml/internal/trainer"
+)
+
+// State is a job's position in its lifecycle state machine:
+//
+//	pending ──▶ running ──▶ done
+//	   │           │  ├───▶ failed     (error, retries exhausted)
+//	   │           │  └───▶ cancelled  (DELETE /jobs/{id})
+//	   │           └──▶ draining ──▶ cancelled  (SIGTERM: checkpoint, stop)
+//	   └──────────────────▶ cancelled  (cancelled before it ran)
+//
+// Transitions happen only through Job methods under the job mutex, so an
+// observer (GET /jobs/{id}) always sees a consistent state + detail pair.
+type State string
+
+// The lifecycle states.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDraining  State = "draining"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether no further transitions can leave s.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted training job and its live lifecycle state.
+type Job struct {
+	// ID is the server-assigned identity ("job-7"); Spec.Name is the
+	// user-chosen checkpoint key. Both are immutable after creation.
+	ID   string
+	Spec JobSpec
+
+	// Metrics is this job's private registry: the trainer, codec, and
+	// cluster layers of its runs record here, isolated from other jobs.
+	Metrics *obs.Registry
+
+	// cfg and the work thunks below are bound by Submit in the caller's
+	// context, before any runner goroutine can see the job; the queue
+	// handoff orders that construction before every read, and the runner
+	// only reads them. The runner reaches the trainer, dataset, and
+	// checkpoint layers exclusively through these function values — see
+	// bindWork for why that indirection is load-bearing.
+	cfg            trainer.Config
+	invoke         func(context.Context, trainer.Config) (*trainer.Result, error)
+	loadCheckpoint func() (*trainer.Checkpoint, error)
+	saveCheckpoint func(*trainer.Checkpoint) error
+
+	mu        sync.Mutex
+	state     State
+	detail    string // human-readable cause of the last transition
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	retries   int
+	resumed   bool // this run restored a checkpoint on submit
+	rounds    int  // CompletedRounds of the last finished attempt
+	finalLoss float64
+	drained   bool
+
+	// cancel hard-stops the running attempt (ctx cancellation: the trainer
+	// aborts within one RoundDeadline). drainOnce/drainCh request the
+	// graceful version: finish the round in flight, checkpoint, exit.
+	cancel    context.CancelFunc
+	drainOnce sync.Once
+	drainCh   chan struct{}
+}
+
+func newJob(id string, spec JobSpec) *Job {
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		Metrics:   obs.NewRegistry(),
+		state:     StatePending,
+		submitted: time.Now(),
+		drainCh:   make(chan struct{}),
+	}
+}
+
+// bindWork builds the job's run and checkpoint thunks. It must be called
+// from the submitter's context, never a runner goroutine: every static
+// call edge into the trainer, dataset, and checkpoint-store layers is
+// anchored here, in plain (non-goroutine) context. The runner goroutine
+// only invokes the bound function values, so those layers — whose data
+// structures are goroutine-confined per job, an ownership protocol the
+// shared-write analyzer cannot see — never become goroutine-reachable in
+// the static call graph. The queue handoff makes the binds happen-before
+// every runner read.
+func (j *Job) bindWork(cfg trainer.Config, train, test *dataset.Dataset, store *CheckpointStore) {
+	j.cfg = cfg
+	spec := &j.Spec
+	j.invoke = func(ctx context.Context, cfg trainer.Config) (*trainer.Result, error) {
+		switch spec.Topology {
+		case "ps":
+			servers := spec.Servers
+			if servers < 1 {
+				servers = 1
+			}
+			return trainer.RunPSContext(ctx, cfg, servers, train, test)
+		case "ssp":
+			return trainer.RunSSPContext(ctx, cfg, spec.Staleness, nil, train, test)
+		default:
+			return trainer.RunContext(ctx, cfg, train, test)
+		}
+	}
+	j.loadCheckpoint = func() (*trainer.Checkpoint, error) { return store.Load(spec.Name) }
+	j.saveCheckpoint = func(cp *trainer.Checkpoint) error { return store.Save(spec.Name, cp) }
+}
+
+// Status is the JSON view of a job returned by the control API.
+type Status struct {
+	ID        string  `json:"id"`
+	Name      string  `json:"name"`
+	State     State   `json:"state"`
+	Detail    string  `json:"detail,omitempty"`
+	Submitted string  `json:"submitted"`
+	Started   string  `json:"started,omitempty"`
+	Finished  string  `json:"finished,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	Resumed   bool    `json:"resumed,omitempty"`
+	Drained   bool    `json:"drained,omitempty"`
+	Rounds    int     `json:"completed_rounds,omitempty"`
+	FinalLoss float64 `json:"final_loss,omitempty"`
+}
+
+// Status snapshots the job under its mutex.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		Name:      j.Spec.Name,
+		State:     j.state,
+		Detail:    j.detail,
+		Submitted: j.submitted.Format(time.RFC3339Nano),
+		Retries:   j.retries,
+		Resumed:   j.resumed,
+		Drained:   j.drained,
+		Rounds:    j.rounds,
+		FinalLoss: j.finalLoss,
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// requestDrain asks the running attempt to stop gracefully at its next
+// round boundary (checkpoint included). Idempotent; a no-op for jobs that
+// already reached a terminal state.
+func (j *Job) requestDrain() {
+	j.mu.Lock()
+	if j.state == StateRunning {
+		j.state = StateDraining
+		j.detail = "drain requested"
+	}
+	j.mu.Unlock()
+	j.drainOnce.Do(func() { close(j.drainCh) })
+}
+
+// requestCancel hard-stops the job: a pending job goes straight to
+// cancelled (the scheduler skips it), a running one has its context
+// cancelled and transitions once the runner observes the stop. Reports
+// whether the request did anything (false for terminal jobs).
+func (j *Job) requestCancel(reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StatePending:
+		j.state = StateCancelled
+		j.detail = reason
+		j.finished = time.Now()
+		return true
+	case StateRunning, StateDraining:
+		j.detail = reason
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// beginAttempt moves a pending (or retried) job into running and arms its
+// cancellation handle. It fails if the job was cancelled while queued.
+func (j *Job) beginAttempt(cancel context.CancelFunc) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return fmt.Errorf("service: job %s is %s", j.ID, j.state)
+	}
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.state = StateRunning
+	j.detail = ""
+	j.cancel = cancel
+	return nil
+}
+
+// finishAttempt records one run attempt's outcome and decides the final
+// state. A drained run ends cancelled-with-checkpoint (resubmission
+// resumes it); an undrained clean run is done; an error leaves the final
+// classification (failed vs retry) to the supervisor, which calls
+// markFailed or re-queues.
+func (j *Job) finishAttempt(res *trainer.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	if res != nil {
+		j.rounds = res.CompletedRounds
+		j.finalLoss = res.FinalLoss
+		j.drained = j.drained || res.Drained
+	}
+	switch {
+	case err == nil && res != nil && res.Drained:
+		j.state = StateCancelled
+		j.detail = "drained at round boundary; checkpoint saved"
+		j.finished = time.Now()
+	case err == nil:
+		j.state = StateDone
+		j.detail = ""
+		j.finished = time.Now()
+	}
+	// err != nil: state stays running/draining; the supervisor decides.
+}
+
+// markFailed finalizes an errored job once the supervisor gives up.
+func (j *Job) markFailed(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = StateFailed
+	j.detail = err.Error()
+	j.finished = time.Now()
+}
+
+// markCancelled finalizes a job whose run attempt was stopped by context
+// cancellation (DELETE or deadline).
+func (j *Job) markCancelled(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = StateCancelled
+	if j.detail == "" {
+		j.detail = reason
+	}
+	j.finished = time.Now()
+}
+
+// noteRetry counts a supervisor restart and flips the job back to pending
+// while it waits for its slot.
+func (j *Job) noteRetry(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.retries++
+	j.state = StatePending
+	j.detail = fmt.Sprintf("retrying after: %v", err)
+}
+
+// noteResumed records that this job restored a checkpoint (for the status
+// view and tests).
+func (j *Job) noteResumed(rounds int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.resumed = true
+	j.detail = fmt.Sprintf("resumed from checkpoint at round %d", rounds)
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLimitsDefaults(t *testing.T) {
+	l := Limits{}.fill()
+	if l.MaxWorkers != 16 || l.MaxEpochs != 50 || l.MaxQueue != 32 ||
+		l.MaxConcurrent != 2 || l.MaxWallClock != 10*time.Minute ||
+		l.MaxBodyBytes != 64<<10 || l.RetryBudget != 2 || l.RetryBackoff != time.Second {
+		t.Fatalf("defaults: %+v", l)
+	}
+	if got := (Limits{RetryBudget: -1}).fill().RetryBudget; got != 0 {
+		t.Fatalf("negative RetryBudget filled to %d, want 0 (retries disabled)", got)
+	}
+}
+
+func TestSpecValidateNormalizes(t *testing.T) {
+	spec, err := ParseJobSpec([]byte(`{"name":"n","dataset":"kdd10","model":"LR","codec":"adam","workers":2,"epochs":1}`), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Topology != "driver" {
+		t.Fatalf("empty topology normalized to %q", spec.Topology)
+	}
+	if spec.DeadlineSec != int((10*time.Minute)/time.Second) {
+		t.Fatalf("zero deadline normalized to %d", spec.DeadlineSec)
+	}
+}
+
+func TestSpecValidateRejectsFilePaths(t *testing.T) {
+	for _, ds := range []string{"/etc/passwd", "../data.libsvm", "C:\\data", "file.libsvm"} {
+		spec := JobSpec{Name: "n", Dataset: ds, Model: "LR", Codec: "adam", Workers: 1, Epochs: 1}
+		err := spec.Validate(Limits{})
+		if err == nil {
+			t.Fatalf("dataset %q accepted; the service must not read server files", ds)
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Fatalf("dataset %q: error does not wrap ErrBadSpec: %v", ds, err)
+		}
+	}
+}
+
+func TestDecodeJobSpecBodyBound(t *testing.T) {
+	lim := Limits{MaxBodyBytes: 256}
+	big := `{"name":"n","dataset":"kdd10","model":"LR","codec":"adam","workers":1,"epochs":1,"pad":"` +
+		strings.Repeat("x", 1024) + `"}`
+	_, err := DecodeJobSpec(strings.NewReader(big), lim.MaxBodyBytes, lim)
+	if err == nil || !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("oversize body: %v", err)
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversize body error %q does not mention the bound", err)
+	}
+}
+
+// FuzzJobSpecDecode feeds arbitrary bytes to the control-API request
+// decoder: it must never panic, must bound what it buffers, and anything
+// it accepts must satisfy its own validator (names usable as filenames,
+// budgets within limits).
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"name":"n","dataset":"kdd10","model":"LR","codec":"adam","workers":2,"epochs":1}`))
+	f.Add([]byte(`{"name":"n","dataset":"synthetic","instances":100,"dim":50,"avg_nnz":5,"model":"SVM","codec":"sketchml","workers":1,"epochs":1,"topology":"ssp","staleness":3}`))
+	f.Add([]byte(`{"name":"../evil","dataset":"kdd10"}`))
+	f.Add([]byte(`{"name":"n","dataset":"kdd10","model":"LR","codec":"adam","workers":-1,"epochs":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(strings.NewReader(string(data)), 4096, Limits{})
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("decode error outside the ErrBadSpec family: %v", err)
+			}
+			if spec != nil {
+				t.Fatal("error with non-nil spec")
+			}
+			return
+		}
+		// Whatever survived must be admissible: safe name, budgets in range.
+		if !nameOK(spec.Name) {
+			t.Fatalf("accepted spec has unsafe name %q", spec.Name)
+		}
+		lim := Limits{}.fill()
+		if spec.Workers < 1 || spec.Workers > lim.MaxWorkers {
+			t.Fatalf("accepted spec has workers %d", spec.Workers)
+		}
+		if spec.Epochs < 1 || spec.Epochs > lim.MaxEpochs {
+			t.Fatalf("accepted spec has epochs %d", spec.Epochs)
+		}
+		switch spec.Topology {
+		case "driver", "ps", "ssp":
+		default:
+			t.Fatalf("accepted spec has topology %q", spec.Topology)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sketchml/internal/obs"
+	"sketchml/internal/trainer"
+)
+
+// maxCheckpointFile bounds a checkpoint file read back from disk. The
+// in-memory layer never hits it; it exists so a corrupted or swapped file
+// cannot make Load allocate unboundedly before the CRC check rejects it.
+const maxCheckpointFile = 1 << 30
+
+// CheckpointStore persists the latest checkpoint per job name. The memory
+// map is the source of truth while the process lives; when a directory is
+// configured, every save is also written through to disk crash-safely
+// (temp file + fsync + rename, so a crash mid-write leaves either the old
+// complete checkpoint or the new complete one, never a torn file) and
+// loads fall back to disk, which is how a restarted process resumes jobs
+// it hosted before the crash. The trailing CRC of the checkpoint format
+// rejects torn or rotted files at load time.
+type CheckpointStore struct {
+	mu  sync.Mutex
+	mem map[string][]byte // latest marshaled checkpoint per job name
+	dir string            // "" = memory only
+
+	savedBytes *obs.Counter   // service.checkpoint.bytes
+	saveNs     *obs.Histogram // service.checkpoint.write_ns
+}
+
+// NewCheckpointStore creates a store; dir may be "" for memory-only
+// operation. The directory is created if missing. reg may be nil.
+func NewCheckpointStore(dir string, reg *obs.Registry) (*CheckpointStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: checkpoint dir: %w", err)
+		}
+	}
+	return &CheckpointStore{
+		mem:        make(map[string][]byte),
+		dir:        dir,
+		savedBytes: reg.Counter("service.checkpoint.bytes"),
+		saveNs:     reg.Histogram("service.checkpoint.write_ns"),
+	}, nil
+}
+
+func (s *CheckpointStore) path(name string) string {
+	return filepath.Join(s.dir, name+".ckpt")
+}
+
+// Save stores cp as the latest checkpoint for the named job. The name must
+// already be validated (nameOK) — it becomes a filename.
+func (s *CheckpointStore) Save(name string, cp *trainer.Checkpoint) error {
+	if !nameOK(name) {
+		return fmt.Errorf("service: bad checkpoint name %q", name)
+	}
+	t0 := time.Now()
+	blob := cp.Marshal()
+	s.mu.Lock()
+	s.mem[name] = blob
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		if err := writeFileAtomic(s.path(name), blob); err != nil {
+			return fmt.Errorf("service: save checkpoint %s: %w", name, err)
+		}
+	}
+	s.savedBytes.Add(int64(len(blob)))
+	s.saveNs.Since(t0)
+	return nil
+}
+
+// Load returns the latest checkpoint for the named job, or (nil, nil) when
+// none exists. A present-but-corrupt checkpoint is an error — silently
+// restarting from scratch would discard the operator's expectation that
+// the job resumes.
+func (s *CheckpointStore) Load(name string) (*trainer.Checkpoint, error) {
+	if !nameOK(name) {
+		return nil, fmt.Errorf("service: bad checkpoint name %q", name)
+	}
+	s.mu.Lock()
+	blob, ok := s.mem[name]
+	dir := s.dir
+	s.mu.Unlock()
+	if !ok && dir != "" {
+		data, err := readFileBounded(s.path(name), maxCheckpointFile)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("service: load checkpoint %s: %w", name, err)
+		}
+		blob, ok = data, true
+	}
+	if !ok {
+		return nil, nil
+	}
+	cp, err := trainer.UnmarshalCheckpoint(blob)
+	if err != nil {
+		return nil, fmt.Errorf("service: checkpoint %s: %w", name, err)
+	}
+	return cp, nil
+}
+
+// Delete drops the named checkpoint (memory and disk). Used when a job
+// completes cleanly — resubmitting a finished job should start over, not
+// resume into an instantly-complete run.
+func (s *CheckpointStore) Delete(name string) {
+	if !nameOK(name) {
+		return
+	}
+	s.mu.Lock()
+	delete(s.mem, name)
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		_ = os.Remove(s.path(name))
+	}
+}
+
+// writeFileAtomic writes data crash-safely: temp file in the same
+// directory, fsync, rename over the target. Rename is atomic on POSIX
+// filesystems, so readers (and a post-crash restart) see the old or the
+// new file, never a prefix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		// Best-effort cleanup on any failure path; after a successful
+		// rename the file no longer exists under tmpName and this is a
+		// no-op error.
+		_ = os.Remove(tmpName)
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// readFileBounded reads a file refusing to allocate more than limit bytes,
+// using the pre-stat size only as a sanity bound (the CRC validates
+// content).
+func readFileBounded(path string, limit int64) ([]byte, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() > limit {
+		return nil, fmt.Errorf("checkpoint file is %d bytes, limit %d", fi.Size(), limit)
+	}
+	return os.ReadFile(path)
+}

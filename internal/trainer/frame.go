@@ -19,6 +19,7 @@ import (
 const (
 	frameGrad   byte = 0x47 // 'G': gradient (worker→driver) or aggregate (driver→worker)
 	frameReport byte = 0x52 // 'R': a worker's end-of-run report
+	frameStop   byte = 0x53 // 'S': driver→worker drain notice — finish up, report, exit
 )
 
 const frameHeaderLen = 6
@@ -53,7 +54,7 @@ func parseFrame(msg []byte) (kind byte, round int, payload []byte, err error) {
 		return 0, 0, nil, fmt.Errorf("trainer: frame too short (%d bytes)", len(msg))
 	}
 	kind = msg[0]
-	if kind != frameGrad && kind != frameReport {
+	if kind != frameGrad && kind != frameReport && kind != frameStop {
 		return 0, 0, nil, fmt.Errorf("trainer: unknown frame kind 0x%02x", kind)
 	}
 	payload = msg[frameHeaderLen:]

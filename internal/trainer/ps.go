@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,6 +28,25 @@ import (
 // parallelizes server links (communication time is the per-round maximum
 // over servers).
 func RunPS(cfg Config, servers int, train, test *dataset.Dataset) (*Result, error) {
+	return RunPSContext(context.Background(), cfg, servers, train, test)
+}
+
+// RunPSContext is RunPS bounded by a context: cancellation is checked every
+// round (the simulation is serial, so one round is the response latency) and
+// the returned error wraps ctx.Err(). Config.Drain and Config.OnCheckpoint
+// operate at epoch granularity — the PS simulation has no mid-epoch round
+// boundary that all parties share — and Config.Resume restarts from an
+// epoch-boundary checkpoint.
+func RunPSContext(ctx context.Context, cfg Config, servers int, train, test *dataset.Dataset) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			res = nil
+			err = fmt.Errorf("trainer: run cancelled: %w", ctx.Err())
+		}
+	}()
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -95,7 +115,7 @@ func RunPS(cfg Config, servers int, train, test *dataset.Dataset) (*Result, erro
 		accs[s] = gradient.NewAccumulator(pDim)
 	}
 
-	res := &Result{
+	res = &Result{
 		CodecName: newCodec().Name(),
 		ModelName: cfg.Trainable.Name(),
 		Workers:   cfg.Workers,
@@ -103,7 +123,34 @@ func RunPS(cfg Config, servers int, train, test *dataset.Dataset) (*Result, erro
 	var cumSimSeconds float64
 	var buf []*dataset.Instance
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	// Resume: PS checkpoints land on epoch boundaries, so the run restarts
+	// at the checkpointed epoch with parameters and optimizer state loaded
+	// bit-exactly and every batcher fast-forwarded through the completed
+	// rounds.
+	startEpoch := 0
+	if cfg.Resume != nil {
+		if err := validateResume(&cfg, cfg.Resume, pDim, roundsPerEpoch, roundsPerEpoch*cfg.Epochs); err != nil {
+			return nil, err
+		}
+		if cfg.Resume.Rounds%roundsPerEpoch != 0 {
+			return nil, fmt.Errorf("trainer: resume: PS topology needs an epoch-boundary checkpoint, got round %d (%d rounds/epoch)",
+				cfg.Resume.Rounds, roundsPerEpoch)
+		}
+		startEpoch = cfg.Resume.Rounds / roundsPerEpoch
+		copy(theta, cfg.Resume.Theta)
+		if err := restoreOptimizer(opt, cfg.Resume); err != nil {
+			return nil, err
+		}
+		for w := range batchers {
+			for r := 0; r < cfg.Resume.Rounds; r++ {
+				buf = batchers[w].Next(buf)
+			}
+		}
+	}
+	res.CompletedRounds = startEpoch * roundsPerEpoch
+
+	stopRequested := false
+	for epoch := startEpoch; epoch < cfg.Epochs && !stopRequested; epoch++ {
 		var es EpochStats
 		es.Epoch = epoch
 		es.Rounds = roundsPerEpoch
@@ -115,6 +162,9 @@ func RunPS(cfg Config, servers int, train, test *dataset.Dataset) (*Result, erro
 		var lossSum float64
 
 		for round := 0; round < roundsPerEpoch; round++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Workers: compute, split, encode, "send".
 			for w := 0; w < cfg.Workers; w++ {
 				t0 := time.Now()
@@ -207,6 +257,22 @@ func RunPS(cfg Config, servers int, train, test *dataset.Dataset) (*Result, erro
 		cumSimSeconds += es.SimTime.Seconds()
 		res.Epochs = append(res.Epochs, es)
 		res.Curve = append(res.Curve, CurvePoint{Seconds: cumSimSeconds, Loss: es.TestLoss})
+
+		res.CompletedRounds = (epoch + 1) * roundsPerEpoch
+		if drainRequested(cfg.Drain) && epoch+1 < cfg.Epochs {
+			stopRequested = true
+			res.Drained = true
+		}
+		if cfg.OnCheckpoint != nil && (stopRequested || (epoch+1)%cfg.CheckpointEvery == 0) {
+			if err := cfg.OnCheckpoint(captureCheckpoint(&cfg, res.CompletedRounds, roundsPerEpoch, theta, opt)); err != nil {
+				return nil, fmt.Errorf("trainer: checkpoint: %w", err)
+			}
+		}
+	}
+	if len(res.Epochs) == 0 {
+		// Resume of an already complete run: nothing executed.
+		res.FinalLoss, res.FinalAccuracy = cfg.Trainable.Evaluate(theta, test)
+		return res, nil
 	}
 	last := res.Epochs[len(res.Epochs)-1]
 	res.FinalLoss = last.TestLoss

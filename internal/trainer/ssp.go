@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -28,6 +29,27 @@ import (
 // speeds[w] multiplies worker w's compute time (1.0 = nominal; 5.0 = a 5×
 // straggler). nil means uniform speeds.
 func RunSSP(cfg Config, staleness int, speeds []float64, train, test *dataset.Dataset) (*Result, error) {
+	return RunSSPContext(context.Background(), cfg, staleness, speeds, train, test)
+}
+
+// RunSSPContext is RunSSP bounded by a context: cancellation is checked at
+// every virtual-time completion event and the returned error wraps
+// ctx.Err(). Config.Drain and Config.OnCheckpoint operate at epoch
+// granularity. Config.Resume aligns every worker at the checkpointed epoch
+// boundary and restarts the virtual clock — exact for staleness 0 (the
+// bulk-synchronous degenerate case); for staleness > 0 the resumed run is a
+// valid SSP execution from the checkpointed parameters but not a replay of
+// the interrupted run's event interleaving.
+func RunSSPContext(ctx context.Context, cfg Config, staleness int, speeds []float64, train, test *dataset.Dataset) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			res = nil
+			err = fmt.Errorf("trainer: run cancelled: %w", ctx.Err())
+		}
+	}()
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -86,25 +108,57 @@ func RunSSP(cfg Config, staleness int, speeds []float64, train, test *dataset.Da
 		batchers[w] = dataset.NewBatcher(shards[w], localBatch, cfg.Seed+int64(w)*7919)
 	}
 
+	res = &Result{
+		CodecName: newCodec().Name(),
+		ModelName: cfg.Trainable.Name(),
+		Workers:   cfg.Workers,
+	}
+	var buf []*dataset.Instance
+
+	// Resume: align every worker at the checkpointed epoch boundary (see
+	// the function comment for the staleness caveat).
+	startEpoch := 0
+	if cfg.Resume != nil {
+		if err := validateResume(&cfg, cfg.Resume, pDim, roundsPerEpoch, totalIters); err != nil {
+			return nil, err
+		}
+		if cfg.Resume.Rounds%roundsPerEpoch != 0 {
+			return nil, fmt.Errorf("trainer: resume: SSP topology needs an epoch-boundary checkpoint, got round %d (%d rounds/epoch)",
+				cfg.Resume.Rounds, roundsPerEpoch)
+		}
+		startEpoch = cfg.Resume.Rounds / roundsPerEpoch
+		copy(theta, cfg.Resume.Theta)
+		if err := restoreOptimizer(opt, cfg.Resume); err != nil {
+			return nil, err
+		}
+		for w := range batchers {
+			for r := 0; r < cfg.Resume.Rounds; r++ {
+				buf = batchers[w].Next(buf)
+			}
+		}
+	}
+	startRounds := startEpoch * roundsPerEpoch
+	res.CompletedRounds = startRounds
+	if startRounds >= totalIters {
+		// Resume of an already complete run: nothing to execute.
+		res.FinalLoss, res.FinalAccuracy = cfg.Trainable.Evaluate(theta, test)
+		return res, nil
+	}
+
 	// Event state: for each worker, iterations completed, and the virtual
 	// finish time of its in-flight iteration (inf when idle/blocked).
 	completed := make([]int, cfg.Workers)
 	finishAt := make([]float64, cfg.Workers)
 	inflight := make([]*pendingUpdate, cfg.Workers)
 	for w := range finishAt {
+		completed[w] = startRounds
 		finishAt[w] = math.Inf(1)
 	}
 	var now float64
 	var upBytes, downBytes int64
 	var lossSum float64
-	var iterations int
-
-	res := &Result{
-		CodecName: newCodec().Name(),
-		ModelName: cfg.Trainable.Name(),
-		Workers:   cfg.Workers,
-	}
-	var buf []*dataset.Instance
+	iterations := startRounds * cfg.Workers
+	startIters := iterations
 
 	minCompleted := func() int {
 		m := totalIters
@@ -156,12 +210,16 @@ func RunSSP(cfg Config, staleness int, speeds []float64, train, test *dataset.Da
 	}
 
 	epochMark := roundsPerEpoch * cfg.Workers // global iterations per epoch
-	nextEpochAt := epochMark
+	nextEpochAt := (startEpoch + 1) * epochMark
 	var lastEpochTime float64
-	epoch := 0
+	epoch := startEpoch
 	wall := time.Now()
+	stopRequested := false
 
-	for iterations < totalIters*cfg.Workers {
+	for iterations < totalIters*cfg.Workers && !stopRequested {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Next completion event.
 		w := -1
 		best := math.Inf(1)
@@ -206,12 +264,23 @@ func RunSSP(cfg Config, staleness int, speeds []float64, train, test *dataset.Da
 			lastEpochTime = now
 			es.WallTime = time.Since(wall)
 			wall = time.Now()
-			es.TrainLoss = lossSum / float64(iterations)
+			es.TrainLoss = lossSum / float64(iterations-startIters)
 			es.TestLoss, es.Accuracy = cfg.Trainable.Evaluate(theta, test)
 			res.Epochs = append(res.Epochs, es)
 			res.Curve = append(res.Curve, CurvePoint{Seconds: now, Loss: es.TestLoss})
 			epoch++
 			nextEpochAt += epochMark
+
+			res.CompletedRounds = epoch * roundsPerEpoch
+			if drainRequested(cfg.Drain) && epoch < cfg.Epochs {
+				stopRequested = true
+				res.Drained = true
+			}
+			if cfg.OnCheckpoint != nil && (stopRequested || epoch%cfg.CheckpointEvery == 0) {
+				if err := cfg.OnCheckpoint(captureCheckpoint(&cfg, res.CompletedRounds, roundsPerEpoch, theta, opt)); err != nil {
+					return nil, fmt.Errorf("trainer: checkpoint: %w", err)
+				}
+			}
 		}
 	}
 	if len(res.Epochs) == 0 {

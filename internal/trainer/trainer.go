@@ -13,6 +13,7 @@
 package trainer
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -105,6 +106,31 @@ type Config struct {
 	// disconnect followed by a rejoin. Ignored when Chaos is nil.
 	ChaosOutage map[int]cluster.OutageWindow
 
+	// Drain, when non-nil, requests a graceful stop: once the channel is
+	// closed (close it — a single send also works but only once), the
+	// driver finishes the round in flight, broadcasts a stop frame so
+	// every worker exits cleanly and files its report, takes a final
+	// checkpoint through OnCheckpoint, and returns early with
+	// Result.Drained set. Honored by all three topologies; Run drains at
+	// round granularity, RunPS and RunSSP at epoch granularity.
+	Drain <-chan struct{}
+	// OnCheckpoint, when non-nil, receives a full replica-state snapshot
+	// at every CheckpointEvery-th epoch boundary and once more when a
+	// drain stops the run mid-epoch. The callback owns the checkpoint
+	// (nothing in it aliases live state); returning an error aborts the
+	// run.
+	OnCheckpoint func(*Checkpoint) error
+	// CheckpointEvery is OnCheckpoint's epoch period; values < 1 default
+	// to 1 (every epoch boundary). Ignored when OnCheckpoint is nil.
+	CheckpointEvery int
+	// Resume restores a checkpoint taken by an identically configured
+	// run: parameters and optimizer state load bit-exactly, every worker
+	// fast-forwards its deterministic batcher to the checkpointed round,
+	// and training continues as if never interrupted. A checkpoint from a
+	// different configuration (workers, seed, batch geometry, codec,
+	// model) is an error.
+	Resume *Checkpoint
+
 	// Metrics, when non-nil, receives the run's observability stream:
 	// per-round gather/broadcast latency histograms, cluster traffic
 	// counters aggregated across links, robustness tallies, and per-epoch
@@ -190,6 +216,13 @@ type Result struct {
 	// broadcast aggregates (exact vs. decoded, every round). Non-nil only
 	// when Config.Metrics enabled the measurement.
 	SketchError *obs.ErrorSummary
+
+	// Drained reports that the run stopped early at a round boundary
+	// because Config.Drain fired; CompletedRounds is the global round
+	// counter actually reached (== total rounds for an undrained run), the
+	// value a resume checkpoint carries.
+	Drained         bool
+	CompletedRounds int
 }
 
 // AvgEpochSimTime returns the mean simulated epoch time.
@@ -273,6 +306,9 @@ func (c *Config) fill() error {
 			c.MaxStrikes = 8
 		}
 	}
+	if c.CheckpointEvery < 1 {
+		c.CheckpointEvery = 1
+	}
 	return c.Network.Validate()
 }
 
@@ -327,6 +363,42 @@ func parseWorkerReport(data []byte) (workerReport, error) {
 
 // Run executes the configured training and returns per-epoch statistics.
 func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
+	return RunContext(context.Background(), cfg, train, test)
+}
+
+// drainRequested polls the drain channel without blocking. A closed
+// channel (the intended trigger) reads ready forever.
+func drainRequested(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunContext is Run bounded by a context: when ctx is cancelled, every
+// blocking receive on the driver and every worker unblocks (the driver's
+// watcher closes all links), the run stops within at most one
+// RoundDeadline plus the round in flight, and the returned error wraps
+// ctx.Err(). Cancellation is a hard stop — for a graceful one that
+// checkpoints and collects worker reports, use Config.Drain.
+func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Whatever error surfaced first (a closed link, a failed decode, a
+	// lost quorum), cancellation is the root cause once ctx is done;
+	// report it as such so callers can errors.Is the context error.
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			res = nil
+			err = fmt.Errorf("trainer: run cancelled: %w", ctx.Err())
+		}
+	}()
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -347,6 +419,17 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		roundsPerEpoch = 1
 	}
 	totalRounds := roundsPerEpoch * cfg.Epochs
+
+	// Resume bookkeeping precedes worker launch: every worker must
+	// fast-forward its deterministic batcher to the checkpointed round.
+	pDim := cfg.Trainable.ParamDim(train.Dim)
+	startRound := 0
+	if cfg.Resume != nil {
+		if err := validateResume(&cfg, cfg.Resume, pDim, roundsPerEpoch, totalRounds); err != nil {
+			return nil, err
+		}
+		startRound = cfg.Resume.Rounds
+	}
 
 	// Wire the links. wrap applies the (optional) fault-injection layer and
 	// the traffic counter to the driver's end of worker w's link. Each
@@ -443,6 +526,27 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		}
 	}()
 
+	// Cancellation watcher: closing every driver-side link is what makes
+	// ctx.Done() reach the blocking receives — the memory transport closes
+	// the whole pair and TCP sends a FIN, so driver gathers and worker
+	// waits alike fail immediately instead of running out their deadlines.
+	// The watcher itself joins through watchDone before Run returns.
+	if ctx.Done() != nil {
+		runDone := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				for _, c := range driverSide {
+					_ = c.Close()
+				}
+			case <-runDone:
+			}
+		}()
+		defer func() { close(runDone); <-watchDone }()
+	}
+
 	// Launch workers.
 	workerErrs := make(chan error, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -451,19 +555,25 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			wcfg.Codec = cfg.CodecFactory()
 		}
 		go func(w int, wcfg Config) {
-			workerErrs <- runWorker(wcfg, shards[w], workerSide[w], localBatch, totalRounds, cfg.Seed+int64(w)*7919)
+			workerErrs <- runWorker(wcfg, shards[w], workerSide[w], localBatch, startRound, totalRounds, cfg.Seed+int64(w)*7919)
 		}(w, wcfg)
 	}
 
 	// Driver state. The parameter space may exceed the feature space
 	// (factorization machines); every replica sizes and initializes its
-	// vector identically.
-	pDim := cfg.Trainable.ParamDim(train.Dim)
+	// vector identically. On resume, parameters and optimizer state load
+	// from the checkpoint bit-exactly.
 	theta := newParams(cfg, pDim)
 	opt := cfg.Optimizer(pDim)
+	if cfg.Resume != nil {
+		copy(theta, cfg.Resume.Theta)
+		if err := restoreOptimizer(opt, cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
 	acc := gradient.NewAccumulator(pDim)
 
-	res := &Result{
+	res = &Result{
 		CodecName: cfg.Codec.Name(),
 		ModelName: cfg.Trainable.Name(),
 		Workers:   cfg.Workers,
@@ -487,15 +597,26 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		runtime.ReadMemStats(&memBefore)
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	// The epoch loop is a flat walk of the global round counter so a
+	// resumed run can enter mid-epoch and a drain can leave mid-epoch: the
+	// first and last epoch entries then cover only the rounds actually
+	// executed (EpochStats.Rounds says how many).
+	globalRound := startRound
+	stopRequested := false
+	for globalRound < totalRounds && !stopRequested {
+		epoch := globalRound / roundsPerEpoch
+		epochEnd := (epoch + 1) * roundsPerEpoch
 		var es EpochStats
 		es.Epoch = epoch
-		es.Rounds = roundsPerEpoch
 		epochStart := time.Now()
 		spEpoch := cfg.Metrics.StartSpan("epoch")
 		var driverDecode, driverEncode time.Duration
 
-		for round := 0; round < roundsPerEpoch; round++ {
+		for globalRound < epochEnd && !stopRequested {
+			if err := ctx.Err(); err != nil {
+				spEpoch.End()
+				return nil, err
+			}
 			// Gather worker gradients. Receives and decodes run concurrently
 			// across workers (Decode is stateless on every codec, including
 			// ErrorFeedback, whose residual lives on the encode side); the
@@ -503,7 +624,6 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			// summation is deterministic. DecodeTime must stay comparable to
 			// the serial path, so it sums the per-goroutine decode durations
 			// rather than wall time.
-			globalRound := epoch*roundsPerEpoch + round
 			tGather := time.Now()
 			if err := gatherRound(cfg, globalRound, driverSide, strikes, decodeReuse, acc, &es, &driverDecode); err != nil {
 				return nil, err
@@ -549,6 +669,15 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 			bcastDur := time.Since(tBcast)
 			es.BroadcastTime += bcastDur
 			tm.broadcastNs.Observe(bcastDur.Nanoseconds())
+
+			globalRound++
+			es.Rounds++
+			// Drain is checked once the round in flight has fully closed
+			// (its broadcast is out and applied), so the checkpoint below
+			// lands exactly on a round boundary.
+			if drainRequested(cfg.Drain) {
+				stopRequested = true
+			}
 		}
 
 		// Epoch boundary: collect traffic deltas.
@@ -572,6 +701,31 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 		// non-training phases).
 		es.TestLoss, es.Accuracy = cfg.Trainable.Evaluate(theta, test)
 		res.Epochs = append(res.Epochs, es)
+
+		// Checkpoint at every CheckpointEvery-th epoch boundary, and
+		// unconditionally when a drain stops the run here — that final
+		// snapshot is what lets the job resume instead of restarting.
+		atBoundary := globalRound%roundsPerEpoch == 0
+		if cfg.OnCheckpoint != nil &&
+			(stopRequested || (atBoundary && (globalRound/roundsPerEpoch)%cfg.CheckpointEvery == 0)) {
+			if err := cfg.OnCheckpoint(captureCheckpoint(&cfg, globalRound, roundsPerEpoch, theta, opt)); err != nil {
+				return nil, fmt.Errorf("trainer: checkpoint: %w", err)
+			}
+		}
+	}
+	res.CompletedRounds = globalRound
+
+	// A drain that stopped short of the full run tells every worker to
+	// stop through a stop frame: each worker finishes its in-flight step,
+	// files its end-of-run report, and exits. Send errors are deliberately
+	// ignored — a dead link's worker is past reaching, and the report
+	// collection below accounts for it.
+	if stopRequested && globalRound < totalRounds {
+		res.Drained = true
+		stopFrame := appendFrame(make([]byte, 0, frameHeaderLen), frameStop, globalRound, nil)
+		for w := range driverSide {
+			_ = driverSide[w].Send(stopFrame)
+		}
 	}
 	if cfg.Metrics != nil {
 		// Process-wide allocation count across the training loop (all
@@ -591,9 +745,9 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	var lossSum float64
 	var lossRounds int64
 	for w := 0; w < cfg.Workers; w++ {
-		rep, err := collectReport(cfg, driverSide[w], w)
+		rep, err := collectReport(cfg, driverSide[w], w, res.Drained)
 		if err != nil {
-			if !cfg.tolerant() {
+			if !cfg.tolerant() && !res.Drained {
 				return nil, err
 			}
 			res.LostReports++
@@ -610,7 +764,7 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		if err := <-workerErrs; err != nil {
-			if !cfg.tolerant() {
+			if !cfg.tolerant() && !res.Drained {
 				return nil, err
 			}
 			res.WorkerFailures++
@@ -618,8 +772,14 @@ func Run(cfg Config, train, test *dataset.Dataset) (*Result, error) {
 	}
 
 	// Distribute worker-side totals uniformly across epochs and finalize
-	// simulated times.
+	// simulated times. A resume of an already complete run executes zero
+	// rounds and records no epochs; its final loss is evaluated directly.
 	nEpochs := len(res.Epochs)
+	if nEpochs == 0 {
+		res.FinalLoss, res.FinalAccuracy = cfg.Trainable.Evaluate(theta, test)
+		res.SketchError = errAcc.summary()
+		return res, nil
+	}
 	meanLoss := 0.0
 	if lossRounds > 0 {
 		meanLoss = lossSum / float64(lossRounds)
@@ -889,17 +1049,29 @@ func (b *broadcaster) broadcast(conns []*cluster.CountingConn, round int, payloa
 	return nil
 }
 
+// drainReportBudget bounds the per-worker report collection after a drain
+// when no RoundDeadline is configured (strict mode would otherwise block
+// forever on a worker that died between the stop frame and its report).
+const drainReportBudget = 10 * time.Second
+
 // collectReport receives worker w's end-of-run report, skipping any stale
 // gradient frames still queued ahead of it. In tolerant mode the whole
-// collection is bounded by cfg.RoundDeadline.
-func collectReport(cfg Config, conn cluster.Conn, w int) (workerReport, error) {
+// collection is bounded by cfg.RoundDeadline; after a drain it is bounded
+// even in strict mode, and the gradient the worker had in flight when the
+// stop frame arrived is skimmed rather than treated as a protocol error.
+func collectReport(cfg Config, conn cluster.Conn, w int, drained bool) (workerReport, error) {
 	var deadline time.Time
-	if cfg.tolerant() {
-		deadline = time.Now().Add(cfg.RoundDeadline)
+	bounded := cfg.tolerant() || drained
+	if bounded {
+		budget := cfg.RoundDeadline
+		if budget <= 0 {
+			budget = drainReportBudget
+		}
+		deadline = time.Now().Add(budget)
 	}
 	for {
 		var budget time.Duration
-		if cfg.tolerant() {
+		if bounded {
 			budget = time.Until(deadline)
 			if budget <= 0 {
 				return workerReport{}, fmt.Errorf("trainer: report from worker %d: %w", w, cluster.ErrTimeout)
@@ -911,17 +1083,17 @@ func collectReport(cfg Config, conn cluster.Conn, w int) (workerReport, error) {
 		}
 		kind, _, payload, err := parseFrame(msg)
 		if err != nil || kind != frameReport {
-			if !cfg.tolerant() {
+			if !cfg.tolerant() && !drained {
 				if err == nil {
 					err = fmt.Errorf("unexpected frame kind 0x%02x", kind)
 				}
 				return workerReport{}, fmt.Errorf("trainer: report from worker %d: %w", w, err)
 			}
-			continue // late gradient from a degraded round, or a corrupt frame
+			continue // late gradient from a degraded round or the drained step in flight
 		}
 		rep, err := parseWorkerReport(payload)
 		if err != nil {
-			if !cfg.tolerant() {
+			if !cfg.tolerant() && !drained {
 				return workerReport{}, fmt.Errorf("trainer: report from worker %d: %w", w, err)
 			}
 			continue
@@ -930,14 +1102,27 @@ func collectReport(cfg Config, conn cluster.Conn, w int) (workerReport, error) {
 	}
 }
 
-func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch, totalRounds int, seed int64) error {
+func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch, startRound, totalRounds int, seed int64) error {
 	defer func() { _ = conn.Close() }()
 	pDim := cfg.Trainable.ParamDim(shard.Dim)
 	theta := newParams(cfg, pDim)
 	opt := cfg.Optimizer(pDim)
+	if cfg.Resume != nil {
+		copy(theta, cfg.Resume.Theta)
+		if err := restoreOptimizer(opt, cfg.Resume); err != nil {
+			return err
+		}
+	}
 	batcher := dataset.NewBatcher(shard, localBatch, seed)
 	var rep workerReport
 	var buf []*dataset.Instance
+	// A resumed worker fast-forwards its deterministic batcher past the
+	// checkpointed rounds: the shuffle sequence depends only on the seed, so
+	// replaying the draws (without computing gradients) puts the batch
+	// stream exactly where the interrupted run left it.
+	for r := 0; r < startRound; r++ {
+		buf = batcher.Next(buf)
+	}
 	// sendBuf and aggScratch are the worker's reusable frame and decode
 	// buffers: after warm-up the steady-state round neither allocates the
 	// outbound envelope nor a fresh aggregate (every transport is done with
@@ -949,7 +1134,7 @@ func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch
 	// worker-side liveness bound (the driver may legitimately go quiet for
 	// a while during an outage on this link, but not forever).
 	misses := 0
-	for round := 0; round < totalRounds; round++ {
+	for round := startRound; round < totalRounds; round++ {
 		t0 := time.Now()
 		buf = batcher.Next(buf)
 		g, loss := cfg.Trainable.BatchGradient(theta, buf, cfg.Lambda)
@@ -997,6 +1182,12 @@ func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch
 				}
 				rep.corrupt++
 				continue
+			}
+			if kind == frameStop {
+				// Drain notice: the driver stopped at a round boundary and
+				// will not broadcast this round's aggregate. The gradient just
+				// sent is skimmed driver-side; file the report and exit.
+				return conn.Send(appendFrame(make([]byte, 0, frameHeaderLen+workerReportLen), frameReport, totalRounds, rep.marshal()))
 			}
 			if kind != frameGrad || tag != round {
 				if !cfg.tolerant() {

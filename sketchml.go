@@ -30,6 +30,8 @@
 package sketchml
 
 import (
+	"context"
+
 	"sketchml/internal/cluster"
 	"sketchml/internal/codec"
 	"sketchml/internal/dataset"
@@ -258,3 +260,38 @@ func ReadRunReport(path string) (*RunReport, error) { return obs.ReadReportFile(
 func TrainSSP(cfg TrainConfig, staleness int, speeds []float64, train, test *Dataset) (*TrainResult, error) {
 	return trainer.RunSSP(cfg, staleness, speeds, train, test)
 }
+
+// TrainContext is Train bounded by a context: cancellation unblocks every
+// receive and stops the run within one round (plus TrainConfig.RoundDeadline
+// in tolerant mode), returning an error that wraps ctx.Err(). For a
+// graceful stop that checkpoints instead, close TrainConfig.Drain.
+func TrainContext(ctx context.Context, cfg TrainConfig, train, test *Dataset) (*TrainResult, error) {
+	return trainer.RunContext(ctx, cfg, train, test)
+}
+
+// TrainPSContext is TrainPS bounded by a context.
+func TrainPSContext(ctx context.Context, cfg TrainConfig, servers int, train, test *Dataset) (*TrainResult, error) {
+	return trainer.RunPSContext(ctx, cfg, servers, train, test)
+}
+
+// TrainSSPContext is TrainSSP bounded by a context.
+func TrainSSPContext(ctx context.Context, cfg TrainConfig, staleness int, speeds []float64, train, test *Dataset) (*TrainResult, error) {
+	return trainer.RunSSPContext(ctx, cfg, staleness, speeds, train, test)
+}
+
+// Checkpoint is a crash-safe snapshot of a training run at a round
+// boundary: parameters, optimizer state, round counter, and the config
+// fingerprint that guards resumption, all behind a checksum. Produce one
+// via TrainConfig.OnCheckpoint (periodic, and final on drain); resume by
+// setting TrainConfig.Resume.
+type Checkpoint = trainer.Checkpoint
+
+// UnmarshalCheckpoint decodes and verifies a checkpoint blob written by
+// Checkpoint.Marshal. Corrupt input fails with ErrCheckpointCorrupt.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	return trainer.UnmarshalCheckpoint(data)
+}
+
+// ErrCheckpointCorrupt classifies every structural checkpoint decode
+// failure (bad magic, truncation, checksum mismatch).
+var ErrCheckpointCorrupt = trainer.ErrCheckpointCorrupt
