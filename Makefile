@@ -28,13 +28,14 @@ BENCHFLAGS ?= -benchtime=0.5s
 # nothing on another machine, while allocation counts are stable.
 BENCH_TOLERANCE ?= 25
 BENCH_COMPARE_FLAGS ?=
-# Steady-state benchmark surface: the codec encode/decode sweep plus the
-# cluster deadline-receive loop. Both feed one benchjson document; the
-# committed BENCH_ceilings.json pins absolute allocs/op ceilings for the
-# machine-independent rows (0 for DecodeInto, 2 for RecvTimeout), because
-# a 0 -> 1 allocation regression is invisible to percentage thresholds.
+# Steady-state benchmark surface: the codec encode/decode sweep, the
+# wire-to-wire merge path, and the cluster deadline-receive loop. All feed
+# one benchjson document; the committed BENCH_ceilings.json pins absolute
+# allocs/op ceilings for the machine-independent rows (0 for DecodeInto and
+# the exact-path MergeInto, 2 for RecvTimeout), because a 0 -> 1 allocation
+# regression is invisible to percentage thresholds.
 BENCH_PKGS     ?= ./internal/codec ./internal/cluster
-BENCH_PATTERN  ?= 'BenchmarkEncodeDecode|BenchmarkRecvTimeoutSteadyState'
+BENCH_PATTERN  ?= 'BenchmarkEncodeDecode|BenchmarkMerge|BenchmarkRecvTimeoutSteadyState'
 BENCH_CEILINGS ?= BENCH_ceilings.json
 # Fault seed for the race-matrix chaos point; the default chaos-soak run
 # uses the test's built-in seed, so the matrix exercises a second schedule.
@@ -52,6 +53,7 @@ LINT_ORACLE_CACHE ?= .sketchlint-oracle-cache.json
 # target per invocation, so the fuzz rule loops.
 FUZZ_TARGETS := \
 	./internal/codec:FuzzSketchMLDecode \
+	./internal/codec:FuzzMerge \
 	./internal/keycoding:FuzzDeltaRoundTrip \
 	./internal/keycoding:FuzzDecodeDeltaRobust \
 	./internal/trainer:FuzzCheckpointDecode \

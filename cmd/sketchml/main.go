@@ -42,6 +42,7 @@ func main() {
 		groups     = flag.Int("groups", 8, "MinMaxSketch groups (r)")
 		colsFrac   = flag.Float64("cols", 0.2, "MinMaxSketch columns as a fraction of nnz (t/d)")
 		topology   = flag.String("topology", "driver", "aggregation topology: driver|ps|ssp")
+		gatherN    = flag.String("gather", "star", "driver gather shape: star|tree|ring (tree/ring merge sketches wire-to-wire; mergeable codec only)")
 		servers    = flag.Int("servers", 4, "parameter servers (topology=ps)")
 		staleness  = flag.Int("staleness", 2, "staleness bound (topology=ssp)")
 		straggler  = flag.Float64("straggler", 1, "slowdown factor of the last worker (topology=ssp)")
@@ -59,7 +60,11 @@ func main() {
 	flag.IntVar(&so.retryBudget, "serve-retry-budget", -1, "serve mode: supervisor restarts per failed job (-1 = default)")
 	flag.DurationVar(&so.drainTimeout, "drain-timeout", 30*time.Second, "serve mode: how long a SIGTERM drain waits for running jobs to checkpoint before hard-cancelling")
 	flag.Parse()
-	if err := validateFlags(so.addr, *metricsOut, *topology); err != nil {
+	gather, err := sketchml.ParseTopology(*gatherN)
+	if err != nil {
+		fatal(err)
+	}
+	if err := validateFlags(so.addr, *metricsOut, *topology, gather, *useTCP); err != nil {
 		fatal(err)
 	}
 	if *pprofAddr != "" {
@@ -109,6 +114,7 @@ func main() {
 		Lambda:        *lambda,
 		Seed:          *seed,
 		UseTCP:        *useTCP,
+		Topology:      gather,
 		Metrics:       reg,
 	}
 	var res *sketchml.TrainResult
@@ -164,7 +170,7 @@ func main() {
 // any single flag's parser. It runs before any work starts so a bad
 // combination is a fast, explicit startup error rather than a surprise
 // after minutes of training.
-func validateFlags(serveAddr, metricsOut, topology string) error {
+func validateFlags(serveAddr, metricsOut, topology string, gather sketchml.Topology, useTCP bool) error {
 	if serveAddr != "" {
 		if metricsOut != "" {
 			return fmt.Errorf("-metrics-out cannot be combined with -serve; fetch per-job metrics via GET /jobs/{id}?metrics=1")
@@ -173,6 +179,14 @@ func validateFlags(serveAddr, metricsOut, topology string) error {
 	}
 	if metricsOut != "" && topology != "driver" {
 		return fmt.Errorf("-metrics-out requires -topology driver (got %q)", topology)
+	}
+	if gather != sketchml.TopologyStar {
+		if topology != "driver" {
+			return fmt.Errorf("-gather %s requires -topology driver (got %q)", gather, topology)
+		}
+		if useTCP {
+			return fmt.Errorf("-gather %s requires the in-memory transport (drop -tcp)", gather)
+		}
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"sketchml"
 )
 
 // Satellite of the service PR: a -metrics-out request with a topology that
@@ -12,6 +14,8 @@ func TestValidateFlagsMetricsOutTopology(t *testing.T) {
 	cases := []struct {
 		name             string
 		serve, out, topo string
+		gather           sketchml.Topology
+		tcp              bool
 		wantErr          bool
 		wantErrSubstring string
 	}{
@@ -26,13 +30,23 @@ func TestValidateFlagsMetricsOutTopology(t *testing.T) {
 		{name: "serve mode ignores topology", serve: "127.0.0.1:0", topo: "ssp"},
 		{name: "serve mode rejects metrics-out", serve: "127.0.0.1:0", out: "m.json", topo: "driver",
 			wantErr: true, wantErrSubstring: "-metrics-out cannot be combined with -serve"},
+		{name: "tree gather on driver", topo: "driver", gather: sketchml.TopologyTree},
+		{name: "ring gather on driver", topo: "driver", gather: sketchml.TopologyRing},
+		{name: "tree gather on ps", topo: "ps", gather: sketchml.TopologyTree,
+			wantErr: true, wantErrSubstring: `-gather tree requires -topology driver (got "ps")`},
+		{name: "ring gather on ssp", topo: "ssp", gather: sketchml.TopologyRing,
+			wantErr: true, wantErrSubstring: `-gather ring requires -topology driver (got "ssp")`},
+		{name: "tree gather over tcp", topo: "driver", gather: sketchml.TopologyTree, tcp: true,
+			wantErr: true, wantErrSubstring: "-gather tree requires the in-memory transport"},
+		{name: "star gather over tcp", topo: "driver", tcp: true},
+		{name: "serve mode ignores gather", serve: "127.0.0.1:0", topo: "driver", gather: sketchml.TopologyRing},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.serve, tc.out, tc.topo)
+			err := validateFlags(tc.serve, tc.out, tc.topo, tc.gather, tc.tcp)
 			if tc.wantErr {
 				if err == nil {
-					t.Fatalf("validateFlags(%q, %q, %q) = nil, want error", tc.serve, tc.out, tc.topo)
+					t.Fatalf("validateFlags(%q, %q, %q, %v, %v) = nil, want error", tc.serve, tc.out, tc.topo, tc.gather, tc.tcp)
 				}
 				if !strings.Contains(err.Error(), tc.wantErrSubstring) {
 					t.Fatalf("error %q does not contain %q", err, tc.wantErrSubstring)
@@ -40,7 +54,7 @@ func TestValidateFlagsMetricsOutTopology(t *testing.T) {
 				return
 			}
 			if err != nil {
-				t.Fatalf("validateFlags(%q, %q, %q) = %v, want nil", tc.serve, tc.out, tc.topo, err)
+				t.Fatalf("validateFlags(%q, %q, %q, %v, %v) = %v, want nil", tc.serve, tc.out, tc.topo, tc.gather, tc.tcp, err)
 			}
 		})
 	}

@@ -99,3 +99,83 @@ func BenchmarkEncodeDecode(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMerge measures the wire-to-wire MergeInto path that interior
+// tree nodes and every ring hop run once per round: decode both inputs
+// structurally, sum the key union, re-emit one message. The points span
+// both output paths — small panes stay on the exact-means path (the
+// steady-state interior hot loop, allocation-free warm), large panes
+// overflow the cap and re-quantize through a fresh sketch (priced like an
+// Encode). Raw rows price the lossless alternative a tree of adam workers
+// would pay. merged-B/msg ties the CPU cost to the bytes the merge puts
+// back on the uplink.
+func BenchmarkMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(78))
+	opts := DefaultOptions()
+	opts.MinMax = false // merged output is MinMax-off; bench the mergeable config
+	// paletteGradient draws values from a small fixed set of magnitudes —
+	// the shape of an already-quantized message, whose decoded values are
+	// bucket means. With few distinct sums the merge stays on the
+	// exact-means path; fully random values overflow the cap and price the
+	// re-quantize path instead.
+	paletteGradient := func(nnz, palette int) *gradient.Sparse {
+		mags := make([]float64, palette)
+		for i := range mags {
+			mags[i] = (rng.ExpFloat64() + 0.1) * 0.02
+		}
+		m := map[uint64]float64{}
+		for len(m) < nnz {
+			v := mags[rng.Intn(palette)]
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			m[uint64(rng.Int63n(1<<22))] = v
+		}
+		return gradient.FromMap(1<<22, m)
+	}
+	type point struct {
+		name    string
+		m       Merger
+		nnz     int
+		palette int // 0 = fully random values (re-quantize path)
+	}
+	points := []point{
+		{"SketchML_exact_nnz5000", MustSketchML(opts), 5000, 32},
+		{"SketchML_requant_nnz5000", MustSketchML(opts), 5000, 0},
+		{"SketchML_requant_nnz50000", MustSketchML(opts), 50000, 0},
+		{"Raw_nnz5000", &Raw{}, 5000, 0},
+		{"Raw_nnz50000", &Raw{}, 50000, 0},
+	}
+	for _, p := range points {
+		c := p.m.(Codec)
+		gen := func() *gradient.Sparse {
+			if p.palette > 0 {
+				return paletteGradient(p.nnz, p.palette)
+			}
+			return randomGradient(rng, 1<<22, p.nnz)
+		}
+		ma, err := c.Encode(gen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mb, err := c.Encode(gen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("MergeInto/"+p.name, func(b *testing.B) {
+			dst, err := p.m.MergeInto(nil, ma, mb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			merged := len(dst)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst, err = p.m.MergeInto(dst, ma, mb); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(merged), "merged-B/msg")
+		})
+	}
+}

@@ -108,3 +108,52 @@ func FuzzSketchMLDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMerge drives two arbitrary byte slices through both Mergers: Merge
+// must never panic, and whenever it accepts the pair the output must itself
+// decode to a valid gradient — an interior tree node forwards merged bytes
+// without ever re-checking them, so an undecodable merge result would
+// poison the whole subtree.
+// Run with: go test -fuzz FuzzMerge ./internal/codec
+func FuzzMerge(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	opts := DefaultOptions()
+	opts.MinMax = false
+	sk := MustSketchML(opts)
+	raw := &Raw{}
+	a := randomGradient(rng, 10000, 200)
+	b := randomGradient(rng, 10000, 150)
+	if ma, err := sk.Encode(a); err == nil {
+		if mb, err := sk.Encode(b); err == nil {
+			f.Add(ma, mb)
+			f.Add(mb, ma)
+		}
+	}
+	if ma, err := raw.Encode(a); err == nil {
+		if mb, err := raw.Encode(b); err == nil {
+			f.Add(ma, mb)
+		}
+	}
+	f.Add([]byte{tagSketchML}, []byte{})
+	f.Add([]byte{}, []byte{})
+	mergers := []struct {
+		name string
+		m    Merger
+		c    Codec
+	}{{"sketchml", sk, sk}, {"raw", raw, raw}}
+	f.Fuzz(func(t *testing.T, x, y []byte) {
+		for _, mc := range mergers {
+			out, err := mc.m.Merge(x, y)
+			if err != nil {
+				continue
+			}
+			dec, derr := mc.c.Decode(out)
+			if derr != nil {
+				t.Fatalf("%s: merge accepted inputs but produced undecodable output: %v", mc.name, derr)
+			}
+			if verr := dec.Validate(); verr != nil {
+				t.Fatalf("%s: merged message decodes to invalid gradient: %v", mc.name, verr)
+			}
+		}
+	})
+}

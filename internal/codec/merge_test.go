@@ -1,0 +1,573 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"sketchml/internal/gradient"
+)
+
+// Property suite for the wire-to-wire Merger contract. The reference for
+// every check is the "concatenated stream": decode both inputs exactly,
+// sum the key union in float64, and compare the merged message against
+// that ground truth — values within compounded quantile rank-error bounds
+// for SketchML, bit-exactly for Raw.
+
+// mergeDistributions are the value shapes the rank-error property sweeps:
+// the bucket layout a quantile sketch builds is entirely different for
+// flat, bell, and heavy-tailed data.
+var mergeDistributions = map[string]func(*rand.Rand) float64{
+	"uniform":  func(r *rand.Rand) float64 { return r.Float64() + 0.01 },
+	"gaussian": func(r *rand.Rand) float64 { return r.NormFloat64() },
+	"pareto":   func(r *rand.Rand) float64 { return math.Pow(1-r.Float64(), -1/1.5) },
+}
+
+// distGradient draws nnz values from the distribution over a dim key space.
+func distGradient(rng *rand.Rand, dist func(*rand.Rand) float64, dim uint64, nnz int) *gradient.Sparse {
+	m := map[uint64]float64{}
+	for len(m) < nnz {
+		v := dist(rng)
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		m[uint64(rng.Int63n(int64(dim)))] = v
+	}
+	return gradient.FromMap(dim, m)
+}
+
+// exactSum computes the float64 key-union sum of two gradients — the
+// "encode the concatenated stream" reference.
+func exactSum(a, b *gradient.Sparse) *gradient.Sparse {
+	m := map[uint64]float64{}
+	for i, k := range a.Keys {
+		m[k] += a.Values[i]
+	}
+	for i, k := range b.Keys {
+		m[k] += b.Values[i]
+	}
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+	return gradient.FromMap(a.Dim, m)
+}
+
+// rankIn returns v's rank within the sorted slice.
+func rankIn(sorted []float64, v float64) int { return sort.SearchFloat64s(sorted, v) }
+
+// TestMergeMatchesConcatenatedStream is the fidelity property: for each
+// distribution, Merge(Encode(g1), Encode(g2)) must decode to the key-union
+// sum within compounded quantile rank-error bounds. Keys are exact, signs
+// never flip, and each decoded value's rank displacement within its sign
+// pane stays within 4 bucket widths — one bucket width plus one sketch-ε
+// rank-error allowance (εN ≤ N/q at the configured sketch size) for each of
+// the two quantization stages (child encode, merge re-quantize).
+func TestMergeMatchesConcatenatedStream(t *testing.T) {
+	const dim = 1 << 20
+	const nnz = 2500
+	for name, dist := range mergeDistributions {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(name))))
+			opts := DefaultOptions()
+			opts.MinMax = false
+			c := MustSketchML(opts)
+			g1 := distGradient(rng, dist, dim, nnz)
+			g2 := distGradient(rng, dist, dim, nnz)
+			m1, err := c.Encode(g1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := c.Encode(g2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The merge sums *decoded* child gradients (each already one
+			// quantization deep); the reference for rank checking is the
+			// sum of those decodes, and g1+g2 backs the sign check.
+			d1, err := c.Decode(m1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := c.Decode(m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exactSum(d1, d2)
+
+			merged, err := c.Merge(m1, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Decode(merged)
+			if err != nil {
+				t.Fatalf("merged message does not decode: %v", err)
+			}
+			if got.Dim != want.Dim || len(got.Keys) != len(want.Keys) {
+				t.Fatalf("shape: got %d keys, want %d", len(got.Keys), len(want.Keys))
+			}
+			// Pane-wise sorted magnitudes for rank displacement checks.
+			var pos, neg []float64
+			for i := range want.Keys {
+				if want.Values[i] >= 0 {
+					pos = append(pos, want.Values[i])
+				} else {
+					neg = append(neg, -want.Values[i])
+				}
+			}
+			sort.Float64s(pos)
+			sort.Float64s(neg)
+			budget := func(n int) int {
+				q := opts.Buckets
+				if c := n / 16; c < q {
+					q = c
+				}
+				if q < 2 {
+					q = 2
+				}
+				return 4 * (n/q + 1)
+			}
+			posBudget, negBudget := budget(len(pos)), budget(len(neg))
+			for i, k := range want.Keys {
+				if got.Keys[i] != k {
+					t.Fatalf("key %d decoded as %d, want %d (keys must survive merging exactly)", i, got.Keys[i], k)
+				}
+				wv, gv := want.Values[i], got.Values[i]
+				if wv*gv < 0 {
+					t.Fatalf("key %d sign flipped: %g -> %g", k, wv, gv)
+				}
+				var drift, bound int
+				if wv >= 0 {
+					drift = rankIn(pos, gv) - rankIn(pos, wv)
+					bound = posBudget
+				} else {
+					drift = rankIn(neg, -gv) - rankIn(neg, -wv)
+					bound = negBudget
+				}
+				if drift < 0 {
+					drift = -drift
+				}
+				if drift > bound {
+					t.Errorf("key %d: decoded %g vs exact %g drifts %d ranks (> %d = 4 bucket widths of %d values)",
+						k, gv, wv, drift, bound, len(pos))
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRawBitExact: the lossless codec's merge must reproduce the
+// key-union float64 sum bit for bit, in both precisions.
+func TestMergeRawBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range []*Raw{{}, {Float32: true}} {
+		g1 := randomGradient(rng, 1<<22, 1500)
+		g2 := randomGradient(rng, 1<<22, 1500)
+		m1, _ := c.Encode(g1)
+		m2, _ := c.Encode(g2)
+		d1, err := c.Decode(m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := c.Decode(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exactSum(d1, d2)
+		merged, err := c.Merge(m1, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decode(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Float32 output re-rounds the sum; compare in the output precision.
+		if c.Float32 {
+			for i := range want.Values {
+				want.Values[i] = float64(float32(want.Values[i]))
+			}
+		}
+		requireSameGradient(t, want, got)
+	}
+}
+
+// TestMergeCommutative: merged bytes must not depend on argument order, on
+// both the exact-means and the re-quantize path, for every Merger.
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	small := DefaultOptions()
+	small.MinMax = false
+	mergers := map[string]Merger{
+		"Raw":                     &Raw{},
+		"Raw float32":             &Raw{Float32: true},
+		"SketchML":                MustSketchML(DefaultOptions()),
+		"SketchML explicit-index": MustSketchML(small),
+	}
+	for name, m := range mergers {
+		t.Run(name, func(t *testing.T) {
+			c := m.(Codec)
+			for _, nnz := range []int{12, 400, 3000} { // spans exact-means and re-quantize panes
+				g1 := randomGradient(rng, 1<<20, nnz)
+				g2 := randomGradient(rng, 1<<20, nnz)
+				m1, err := c.Encode(g1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m2, err := c.Encode(g2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ab, err := m.Merge(m1, m2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ba, err := m.Merge(m2, m1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ab, ba) {
+					t.Fatalf("nnz %d: Merge(a,b) and Merge(b,a) differ", nnz)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeAssociativeOnExactPath pins the format's associativity boundary:
+// while every pane stays on the lossless exact-means path (forced here via
+// the test cap override), (a⊕b)⊕c and a⊕(b⊕c) are byte-identical — every
+// summed value survives verbatim, so the grouping cannot show. The
+// re-quantize path deliberately breaks this (it re-buckets through a sketch
+// built from the intermediate sums), which is why the trainer's topologies
+// fix a deterministic merge order instead of relying on associativity.
+func TestMergeAssociativeOnExactPath(t *testing.T) {
+	mergeMeansCapOverride = 1 << 20
+	defer func() { mergeMeansCapOverride = 0 }()
+	rng := rand.New(rand.NewSource(23))
+	opts := DefaultOptions()
+	opts.MinMax = false
+	for name, c := range map[string]interface {
+		Codec
+		Merger
+	}{"SketchML": MustSketchML(opts), "Raw": &Raw{}} {
+		t.Run(name, func(t *testing.T) {
+			gs := make([][]byte, 3)
+			for i := range gs {
+				msg, err := c.Encode(randomGradient(rng, 1<<20, 900))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gs[i] = msg
+			}
+			ab, err := c.Merge(gs[0], gs[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			abc1, err := c.Merge(ab, gs[2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			bc, err := c.Merge(gs[1], gs[2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			abc2, err := c.Merge(gs[0], bc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(abc1, abc2) {
+				t.Fatal("(a⊕b)⊕c != a⊕(b⊕c) on the exact-means path")
+			}
+		})
+	}
+}
+
+// TestMergeIntoZeroAllocWarm mirrors the DecodeInto allocation contract:
+// once the pooled scratch and the destination have warmed, an exact-path
+// MergeInto performs zero allocations. (The re-quantize path builds a fresh
+// sketch, exactly like Encode, and is exempt — only the exact path is the
+// steady-state interior-node hot loop.) Skipped under -race: the
+// detector's instrumentation allocates; the BenchmarkMerge ceiling in
+// BENCH_ceilings.json pins the same contract in `make bench-check`.
+func TestMergeIntoZeroAllocWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	mergeMeansCapOverride = 1 << 20
+	defer func() { mergeMeansCapOverride = 0 }()
+	rng := rand.New(rand.NewSource(29))
+	opts := DefaultOptions()
+	opts.MinMax = false
+	for name, m := range map[string]Merger{"SketchML": MustSketchML(opts), "Raw": &Raw{}} {
+		t.Run(name, func(t *testing.T) {
+			c := m.(Codec)
+			m1, err := c.Encode(randomGradient(rng, 1<<20, 1200))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := c.Encode(randomGradient(rng, 1<<20, 1200))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dst []byte
+			for i := 0; i < 8; i++ { // warm pools and dst capacity
+				if dst, err = m.MergeInto(dst, m1, m2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				var err error
+				dst, err = m.MergeInto(dst, m1, m2)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("warm MergeInto allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestMergeIntoAliasing mirrors decodeinto_test.go's aliasing contract: dst
+// may alias either input, because both inputs are fully parsed before the
+// first output byte is written.
+func TestMergeIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	opts := DefaultOptions()
+	opts.MinMax = false
+	for name, m := range map[string]Merger{"SketchML": MustSketchML(opts), "Raw": &Raw{}} {
+		t.Run(name, func(t *testing.T) {
+			c := m.(Codec)
+			m1, err := c.Encode(randomGradient(rng, 1<<20, 800))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := c.Encode(randomGradient(rng, 1<<20, 800))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := m.Merge(m1, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// dst aliases input a: hand MergeInto a's own backing array.
+			a := append(make([]byte, 0, len(m1)+len(want)), m1...)
+			got, err := m.MergeInto(a, a, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("MergeInto with dst aliasing input a diverges from Merge")
+			}
+			// dst aliases input b.
+			b := append(make([]byte, 0, len(m2)+len(want)), m2...)
+			got, err = m.MergeInto(b, m1, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("MergeInto with dst aliasing input b diverges from Merge")
+			}
+		})
+	}
+}
+
+// TestMergeCancellation: merging a gradient with its negation must produce
+// a decodable empty message — exact zero sums are dropped, never encoded.
+func TestMergeCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := randomGradient(rng, 1<<18, 300)
+	ng := &gradient.Sparse{Dim: g.Dim, Keys: g.Keys, Values: make([]float64, len(g.Values))}
+	for i, v := range g.Values {
+		ng.Values[i] = -v
+	}
+	c := &Raw{}
+	m1, _ := c.Encode(g)
+	m2, _ := c.Encode(ng)
+	merged, err := c.Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(merged)
+	if err != nil {
+		t.Fatalf("cancelled merge does not decode: %v", err)
+	}
+	if len(dec.Keys) != 0 {
+		t.Errorf("full cancellation left %d keys", len(dec.Keys))
+	}
+}
+
+// TestMergeErrors: structural failures must be loud errors, never junk
+// messages.
+func TestMergeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	opts := DefaultOptions()
+	opts.MinMax = false
+	sk := MustSketchML(opts)
+	raw := &Raw{}
+	skMsg, _ := sk.Encode(randomGradient(rng, 1<<20, 500))
+	rawMsg, _ := raw.Encode(randomGradient(rng, 1<<20, 500))
+
+	if _, err := sk.Merge(skMsg, skMsg[:10]); err == nil {
+		t.Error("truncated input accepted")
+	}
+	if _, err := raw.Merge(rawMsg[:1], rawMsg); err == nil {
+		t.Error("truncated raw input accepted")
+	}
+	other, _ := sk.Encode(randomGradient(rng, 1<<21, 500))
+	if _, err := sk.Merge(skMsg, other); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Overflow to +Inf must be rejected: the sum of two near-max values is
+	// not representable, and a message carrying Inf would poison the model.
+	big := &gradient.Sparse{Dim: 8, Keys: []uint64{3}, Values: []float64{math.MaxFloat64}}
+	bm, err := raw.Encode(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Merge(bm, bm); err == nil {
+		t.Error("non-finite sum accepted")
+	}
+}
+
+// mergeGoldenVec pins one merged-message configuration. Both input
+// gradients regenerate from their seeds (via the goldenVec generator), so
+// the fixture bytes are a pure function of (seeds, geometry, Options).
+type mergeGoldenVec struct {
+	name string
+	opts Options
+	a, b goldenVec
+}
+
+func mergeGoldenVectors() []mergeGoldenVec {
+	mk := func(mut func(*Options)) Options {
+		o := DefaultOptions()
+		o.MinMax = false // merged output is always MinMax-off; match the inputs
+		if mut != nil {
+			mut(&o)
+		}
+		return o
+	}
+	quan := mk(nil)
+	keyOnly := mk(func(o *Options) { o.Quantize = false })
+	return []mergeGoldenVec{
+		// Re-quantize path: two default-sized panes overflow the exact cap.
+		{name: "merge_keyquan", opts: quan,
+			a: goldenVec{opts: quan, dim: 100000, nnz: 1200, seed: 2001},
+			b: goldenVec{opts: quan, dim: 100000, nnz: 1200, seed: 2002}},
+		// Exact-means path: tiny panes keep every summed value verbatim.
+		{name: "merge_exact_tiny", opts: quan,
+			a: goldenVec{opts: quan, dim: 4096, nnz: 30, seed: 2003},
+			b: goldenVec{opts: quan, dim: 4096, nnz: 30, seed: 2004}},
+		// Raw-layout output: unquantized inputs merge to the key+f64 layout.
+		{name: "merge_key_only", opts: keyOnly,
+			a: goldenVec{opts: keyOnly, dim: 100000, nnz: 1200, seed: 2005},
+			b: goldenVec{opts: keyOnly, dim: 100000, nnz: 1200, seed: 2006}},
+	}
+}
+
+func (v mergeGoldenVec) fixturePath() string {
+	return filepath.Join("testdata", "golden", v.name+".bin")
+}
+
+// merged regenerates the two inputs, encodes each, and merges the wire
+// messages — the full interior-node path a tree gather runs.
+func (v mergeGoldenVec) merged(t *testing.T) []byte {
+	t.Helper()
+	c := MustSketchML(v.opts)
+	ma, err := c.Encode(v.a.gradient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := c.Encode(v.b.gradient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := c.Merge(ma, mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+// comparePinnedFixture byte-compares enc against the committed fixture, or
+// rewrites the fixture under -update.
+func comparePinnedFixture(t *testing.T, path string, enc []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(enc))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("merged wire bytes changed: %d bytes != fixture %d bytes (first diff at %d)",
+			len(enc), len(want), firstDiff(enc, want))
+	}
+}
+
+// TestMergeGoldenVectors pins the merged-message wire bytes the same way
+// goldenvec_test.go pins encoded ones: fixtures are a pure function of the
+// (seed, geometry, Options) inputs, refreshed with -update.
+func TestMergeGoldenVectors(t *testing.T) {
+	for _, v := range mergeGoldenVectors() {
+		t.Run(v.name, func(t *testing.T) {
+			enc := v.merged(t)
+			comparePinnedFixture(t, v.fixturePath(), enc)
+			if *updateGolden {
+				return
+			}
+			c := MustSketchML(v.opts)
+			if _, err := c.Decode(enc); err != nil {
+				t.Fatalf("merged fixture does not decode: %v", err)
+			}
+		})
+	}
+}
+
+// TestMergeGoldenVectorsPerturbation: flipping any single probed byte of a
+// committed merged message must be loud — a decode error or changed output.
+func TestMergeGoldenVectorsPerturbation(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixtures being rewritten")
+	}
+	for _, v := range mergeGoldenVectors() {
+		t.Run(v.name, func(t *testing.T) {
+			c := MustSketchML(v.opts)
+			msg := v.merged(t)
+			clean, err := c.Decode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pos := range []int{0, 1, len(msg) / 2, len(msg) - 1} {
+				t.Run(fmt.Sprintf("byte%d", pos), func(t *testing.T) {
+					mut := append([]byte(nil), msg...)
+					mut[pos] ^= 0xFF
+					dec, err := c.Decode(mut)
+					if err != nil {
+						return // loud failure: exactly what we want
+					}
+					if gradientsEqual(clean, dec) {
+						t.Errorf("flipping byte %d of %d went unnoticed", pos, len(msg))
+					}
+				})
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ type StageNs struct {
 	ComputeNs   int64 `json:"compute_ns"`   // summed worker gradient computation CPU
 	EncodeNs    int64 `json:"encode_ns"`    // summed compression CPU, all parties
 	DecodeNs    int64 `json:"decode_ns"`    // summed decompression CPU, all parties
+	MergeNs     int64 `json:"merge_ns"`     // summed wire-to-wire merge CPU, all workers (tree/ring)
 }
 
 // EpochReport is one epoch of a run report.
@@ -36,6 +37,8 @@ type EpochReport struct {
 	RawUpBytes   int64   `json:"raw_up_bytes"`   // same traffic as raw float64 key–values
 	RawDownBytes int64   `json:"raw_down_bytes"` // per worker
 	Compression  float64 `json:"compression"`    // RawUpBytes / UpBytes
+	DecodedBytes int64   `json:"decoded_bytes"`  // codec-message bytes the driver decoded (≤ UpBytes)
+	Merges       int64   `json:"merges"`         // wire-to-wire merges performed by workers
 	Stages       StageNs `json:"stages"`
 	WallNs       int64   `json:"wall_ns"`
 	SimNs        int64   `json:"sim_ns"`
@@ -62,6 +65,12 @@ type RunReport struct {
 	Codec   string `json:"codec"`
 	Model   string `json:"model"`
 	Workers int    `json:"workers"`
+	// Topology names the gather aggregation shape ("star", "tree", "ring");
+	// empty means star (pre-topology reports). LevelMergeNs breaks the merge
+	// CPU down by aggregation level — index 0 is the driver's direct
+	// children, deeper tree levels follow; rings are flat (one level).
+	Topology     string  `json:"topology,omitempty"`
+	LevelMergeNs []int64 `json:"level_merge_ns,omitempty"`
 
 	Epochs []EpochReport `json:"epochs"`
 
@@ -99,6 +108,10 @@ const (
 //   - driver stage times (gather + broadcast) fit inside the epoch wall
 //     time — they partition the round loop, so exceeding it means a meter
 //     double-counted;
+//   - hierarchical-aggregation accounting is coherent: decoded bytes are
+//     non-negative and never exceed the epoch's wire bytes (the driver can
+//     only decode what arrived), merge meters are non-negative, and a star
+//     (or untagged) report carries no merges at all;
 //   - totals equal the per-epoch sums;
 //   - when a metrics snapshot with cluster counters is attached, the wire
 //     bytes cannot exceed what the transport layer actually counted (the
@@ -108,7 +121,7 @@ func (r *RunReport) Validate() error {
 	if len(r.Epochs) == 0 {
 		return fmt.Errorf("obs: report has no epochs")
 	}
-	var sumUp, sumDown, sumRawUp, sumWall int64
+	var sumUp, sumDown, sumRawUp, sumWall, sumMerges int64
 	for i := range r.Epochs {
 		e := &r.Epochs[i]
 		if e.Rounds <= 0 {
@@ -136,10 +149,32 @@ func (r *RunReport) Validate() error {
 			return fmt.Errorf("obs: epoch %d: driver stages %dns exceed wall %dns",
 				e.Epoch, e.Stages.GatherNs+e.Stages.BroadcastNs, e.WallNs)
 		}
+		if e.DecodedBytes < 0 || e.DecodedBytes > e.UpBytes {
+			return fmt.Errorf("obs: epoch %d: decoded bytes %d outside [0, up bytes %d]",
+				e.Epoch, e.DecodedBytes, e.UpBytes)
+		}
+		if e.Merges < 0 || e.Stages.MergeNs < 0 {
+			return fmt.Errorf("obs: epoch %d: negative merge accounting (merges %d, %dns)",
+				e.Epoch, e.Merges, e.Stages.MergeNs)
+		}
 		sumUp += e.UpBytes
 		sumDown += e.DownBytes
 		sumRawUp += e.RawUpBytes
 		sumWall += e.WallNs
+		sumMerges += e.Merges
+	}
+	if r.Topology == "" || r.Topology == "star" {
+		if sumMerges != 0 {
+			return fmt.Errorf("obs: star topology report carries %d merges", sumMerges)
+		}
+		if len(r.LevelMergeNs) != 0 {
+			return fmt.Errorf("obs: star topology report carries %d merge levels", len(r.LevelMergeNs))
+		}
+	}
+	for lvl, ns := range r.LevelMergeNs {
+		if ns < 0 {
+			return fmt.Errorf("obs: negative merge time %dns at aggregation level %d", ns, lvl)
+		}
 	}
 	if r.TotalUpBytes != sumUp || r.TotalDownBytes != sumDown || r.TotalRawUpBytes != sumRawUp {
 		return fmt.Errorf("obs: totals (up %d, down %d, raw %d) disagree with epoch sums (%d, %d, %d)",

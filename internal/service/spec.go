@@ -21,6 +21,7 @@ import (
 	"io"
 	"time"
 
+	"sketchml/internal/cluster"
 	"sketchml/internal/codec"
 	"sketchml/internal/dataset"
 	"sketchml/internal/model"
@@ -117,6 +118,9 @@ type JobSpec struct {
 	Topology  string `json:"topology,omitempty"`
 	Servers   int    `json:"servers,omitempty"`   // topology=ps
 	Staleness int    `json:"staleness,omitempty"` // topology=ssp
+	// Gather selects the driver protocol's gather shape: star (default),
+	// tree, or ring. tree/ring require a mergeable codec and topology=driver.
+	Gather string `json:"gather,omitempty"`
 
 	// RoundDeadlineMs enables the trainer's tolerant mode (quorum gather,
 	// strike-based abort) and bounds every blocking receive; it is also the
@@ -245,6 +249,22 @@ func (s *JobSpec) Validate(lim Limits) error {
 	if s.Staleness < 0 || s.Staleness > 1000 {
 		return fmt.Errorf("%w: staleness %d out of [0, 1000]", ErrBadSpec, s.Staleness)
 	}
+	gather, err := cluster.ParseTopology(s.Gather)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if gather != cluster.TopologyStar {
+		if s.Topology != "driver" {
+			return fmt.Errorf("%w: gather %q requires topology=driver (got %q)", ErrBadSpec, s.Gather, s.Topology)
+		}
+		// Reject unmergeable codecs at submit time — the trainer would reject
+		// them too, but only after the job is admitted and scheduled.
+		if probe, _ := newCodecFactory(s.Codec); probe != nil {
+			if _, ok := probe().(codec.Merger); !ok {
+				return fmt.Errorf("%w: gather %q requires a mergeable codec, %s is not", ErrBadSpec, s.Gather, s.Codec)
+			}
+		}
+	}
 	if s.RoundDeadlineMs < 0 || s.RoundDeadlineMs > 600_000 {
 		return fmt.Errorf("%w: round_deadline_ms %d out of [0, 600000]", ErrBadSpec, s.RoundDeadlineMs)
 	}
@@ -354,7 +374,12 @@ func (s *JobSpec) buildConfig() (trainer.Config, error) {
 	if lr == 0 {
 		lr = 0.1
 	}
+	gather, err := cluster.ParseTopology(s.Gather)
+	if err != nil {
+		return trainer.Config{}, err
+	}
 	return trainer.Config{
+		Topology:        gather,
 		Model:           mdl,
 		CodecFactory:    factory,
 		Optimizer:       func(dim uint64) optim.Optimizer { return optim.NewAdam(lr, dim) },

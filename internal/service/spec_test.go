@@ -45,6 +45,47 @@ func TestSpecValidateRejectsFilePaths(t *testing.T) {
 	}
 }
 
+func TestSpecValidateGather(t *testing.T) {
+	mk := func(extra string) []byte {
+		return []byte(`{"name":"n","dataset":"kdd10","model":"LR","codec":"sketchml","workers":4,"epochs":1` + extra + `}`)
+	}
+	cases := []struct {
+		name string
+		body []byte
+		want string // "" = accept
+	}{
+		{name: "default star", body: mk(``)},
+		{name: "explicit star", body: mk(`,"gather":"star"`)},
+		{name: "tree on driver", body: mk(`,"gather":"tree"`)},
+		{name: "ring on driver", body: mk(`,"gather":"ring"`)},
+		{name: "unknown shape", body: mk(`,"gather":"mesh"`), want: "unknown topology"},
+		{name: "tree on ps", body: mk(`,"gather":"tree","topology":"ps","servers":2`), want: "requires topology=driver"},
+		{name: "ring on ssp", body: mk(`,"gather":"ring","topology":"ssp"`), want: "requires topology=driver"},
+		{name: "tree with unmergeable codec", body: []byte(`{"name":"n","dataset":"kdd10","model":"LR","codec":"onebit","workers":4,"epochs":1,"gather":"tree"}`),
+			want: "mergeable codec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ParseJobSpec(tc.body, Limits{})
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("spec rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("spec accepted: %+v", spec)
+			}
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("error does not wrap ErrBadSpec: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
 func TestDecodeJobSpecBodyBound(t *testing.T) {
 	lim := Limits{MaxBodyBytes: 256}
 	big := `{"name":"n","dataset":"kdd10","model":"LR","codec":"adam","workers":1,"epochs":1,"pad":"` +
@@ -65,6 +106,7 @@ func TestDecodeJobSpecBodyBound(t *testing.T) {
 func FuzzJobSpecDecode(f *testing.F) {
 	f.Add([]byte(`{"name":"n","dataset":"kdd10","model":"LR","codec":"adam","workers":2,"epochs":1}`))
 	f.Add([]byte(`{"name":"n","dataset":"synthetic","instances":100,"dim":50,"avg_nnz":5,"model":"SVM","codec":"sketchml","workers":1,"epochs":1,"topology":"ssp","staleness":3}`))
+	f.Add([]byte(`{"name":"n","dataset":"kdd10","model":"LR","codec":"sketchml","workers":4,"epochs":1,"gather":"tree"}`))
 	f.Add([]byte(`{"name":"../evil","dataset":"kdd10"}`))
 	f.Add([]byte(`{"name":"n","dataset":"kdd10","model":"LR","codec":"adam","workers":-1,"epochs":1}`))
 	f.Add([]byte(`{}`))

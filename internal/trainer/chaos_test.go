@@ -326,3 +326,137 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("seed %d: clean loss %.4f, chaos loss %.4f, counters %+v, worker timeouts %d, skipped steps %d, lost reports %d",
 		seed, clean.FinalLoss, a.FinalLoss, c, a.WorkerTimeouts, a.WorkerSkippedSteps, a.LostReports)
 }
+
+// TestChaosSoakTree is the tree-gather counterpart of TestChaosSoak: the
+// same sustained fault mix, but routed through a binary gather tree where
+// worker 0 is the interior node merging the subtree {0, 2, 3} wire-to-wire
+// before anything reaches the driver. The outage hits worker 0's driver
+// link — an interior-node disconnect — so the driver transiently loses that
+// entire merged subtree and must degrade at subtree granularity (three
+// gradients skipped per missed round) while worker 1's root keeps quorum
+// alive. Faults on the aggregation links themselves (child uplinks) are
+// absorbed below the driver: the interior node counts them and delivers a
+// partial count, which the driver turns into per-count weighting instead of
+// a timeout. Same gate and seed override as TestChaosSoak; `make
+// chaos-soak` runs both (-run TestChaosSoak is an unanchored match).
+func TestChaosSoakTree(t *testing.T) {
+	if os.Getenv("SKETCHML_CHAOS_SOAK") != "1" {
+		t.Skip("set SKETCHML_CHAOS_SOAK=1 (or run `make chaos-soak`) to enable")
+	}
+	seed := int64(1)
+	if s := os.Getenv("SKETCHML_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SKETCHML_CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	train, test := smallData(t)
+	base := Config{
+		Model:     model.LogisticRegression{},
+		Codec:     codec.MustSketchML(codec.DefaultOptions()),
+		Optimizer: adamFactory(0.1),
+		Workers:   4,
+		Epochs:    3,
+		Lambda:    0.01,
+		Seed:      2,
+		Topology:  cluster.TopologyTree,
+	}
+	clean, err := Run(base, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaosCfg := base
+	chaosCfg.RoundDeadline = 250 * time.Millisecond
+	chaosCfg.MinGatherFraction = 0.25 // quorum 1: worker 1's root alone carries outage rounds
+	chaosCfg.MaxStrikes = 10
+	chaosCfg.Chaos = &cluster.ChaosSpec{
+		Seed:        seed,
+		RecvDrop:    0.06,
+		RecvCorrupt: 0.06,
+		RecvDup:     0.03,
+		SendDelay:   0.05,
+		DelayMin:    time.Millisecond,
+		DelayMax:    4 * time.Millisecond,
+	}
+	// Interior-node outage: worker 0's driver link goes dark for frame
+	// ordinals [12, 15), taking the merged {0,2,3} subtree with it.
+	chaosCfg.ChaosOutage = map[int]cluster.OutageWindow{0: {Start: 12, End: 15}}
+
+	run := func() *Result {
+		t.Helper()
+		type outcome struct {
+			res *Result
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			res, err := Run(chaosCfg, train, test)
+			done <- outcome{res, err}
+		}()
+		select {
+		case o := <-done:
+			if o.err != nil {
+				t.Fatalf("tree chaos run aborted: %v", o.err)
+			}
+			return o.res
+		case <-time.After(2 * time.Minute):
+			t.Fatal("tree chaos run deadlocked")
+			return nil
+		}
+	}
+	a := run()
+	b := run()
+
+	// Determinism: per-link fault schedules are seeded, so both runs must
+	// agree on every robustness counter — driver-side and interior-node —
+	// and on the trained model.
+	for i := range a.Epochs {
+		ea, eb := a.Epochs[i], b.Epochs[i]
+		if ea.Timeouts != eb.Timeouts || ea.SkippedGrads != eb.SkippedGrads ||
+			ea.CorruptFrames != eb.CorruptFrames || ea.StaleFrames != eb.StaleFrames ||
+			ea.Strikes != eb.Strikes || ea.DegradedRounds != eb.DegradedRounds {
+			t.Errorf("epoch %d robustness counters differ across same-seed runs:\n  %+v\n  %+v", i, ea, eb)
+		}
+	}
+	if a.FinalLoss != b.FinalLoss {
+		t.Errorf("same-seed tree chaos runs trained different models: loss %v vs %v", a.FinalLoss, b.FinalLoss)
+	}
+	if a.WorkerTimeouts != b.WorkerTimeouts || a.WorkerCorruptFrames != b.WorkerCorruptFrames {
+		t.Errorf("interior-node counters differ across same-seed runs: timeouts %d/%d corrupt %d/%d",
+			a.WorkerTimeouts, b.WorkerTimeouts, a.WorkerCorruptFrames, b.WorkerCorruptFrames)
+	}
+
+	// The tree actually merged (this is not a star run in disguise), and the
+	// fault machinery engaged at both levels.
+	c := soakTally(a)
+	var merges int64
+	for _, es := range a.Epochs {
+		merges += es.Merges
+	}
+	if merges == 0 {
+		t.Error("tree soak recorded zero wire-to-wire merges")
+	}
+	if c.timeouts == 0 || c.degraded == 0 {
+		t.Errorf("soak never degraded a round: %+v", c)
+	}
+	// The interior outage must have cost the driver whole subtrees: each
+	// missed root-0 round skips its full 3-worker subtree at once.
+	if c.skipped < 3 {
+		t.Errorf("interior-node outage never cost a full subtree: %d gradients skipped, want >= 3", c.skipped)
+	}
+	if c.corrupt+int(a.WorkerCorruptFrames) == 0 {
+		t.Errorf("no corrupt frames detected anywhere despite %v corruption rate", chaosCfg.Chaos.RecvCorrupt)
+	}
+	if a.WorkerFailures != 0 {
+		t.Errorf("%d workers died during the tree soak", a.WorkerFailures)
+	}
+
+	// Graceful degradation: within 10% of the fault-free tree baseline.
+	if a.FinalLoss > clean.FinalLoss*1.10 {
+		t.Errorf("tree chaos loss %v more than 10%% above clean loss %v", a.FinalLoss, clean.FinalLoss)
+	}
+	t.Logf("seed %d: clean tree loss %.4f, chaos loss %.4f, counters %+v, merges %d, worker timeouts %d, worker corrupt %d",
+		seed, clean.FinalLoss, a.FinalLoss, c, merges, a.WorkerTimeouts, a.WorkerCorruptFrames)
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"sketchml/internal/cluster"
 	"sketchml/internal/codec"
 	"sketchml/internal/dataset"
 	"sketchml/internal/gradient"
@@ -49,6 +50,11 @@ func RunPSContext(ctx context.Context, cfg Config, servers int, train, test *dat
 	}()
 	if err := cfg.fill(); err != nil {
 		return nil, err
+	}
+	if cfg.Topology != cluster.TopologyStar {
+		// PS already shards aggregation across servers by key range; layering
+		// a gather topology on top of that would double-aggregate.
+		return nil, fmt.Errorf("trainer: topology %q requires the driver architecture (PS runs are star)", cfg.Topology)
 	}
 	if servers < 1 {
 		servers = 1

@@ -173,12 +173,15 @@ func BuildRunReport(tool string, res *Result, reg *obs.Registry) (*obs.RunReport
 			DownBytes:    es.DownBytes,
 			RawUpBytes:   es.RawUpBytes,
 			RawDownBytes: es.RawDownBytes,
+			DecodedBytes: es.DecodedBytes,
+			Merges:       es.Merges,
 			Stages: obs.StageNs{
 				GatherNs:    es.GatherTime.Nanoseconds(),
 				BroadcastNs: es.BroadcastTime.Nanoseconds(),
 				ComputeNs:   es.ComputeTime.Nanoseconds(),
 				EncodeNs:    es.EncodeTime.Nanoseconds(),
 				DecodeNs:    es.DecodeTime.Nanoseconds(),
+				MergeNs:     es.MergeTime.Nanoseconds(),
 			},
 			WallNs:   es.WallTime.Nanoseconds(),
 			SimNs:    es.SimTime.Nanoseconds(),
@@ -199,6 +202,8 @@ func BuildRunReport(tool string, res *Result, reg *obs.Registry) (*obs.RunReport
 	}
 	rpt.FinalLoss = res.FinalLoss
 	rpt.FinalAccuracy = res.FinalAccuracy
+	rpt.Topology = res.Topology
+	rpt.LevelMergeNs = res.LevelMergeNs
 	rpt.SketchError = res.SketchError
 	rpt.Metrics = reg.Snapshot()
 	if err := rpt.Validate(); err != nil {

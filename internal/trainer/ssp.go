@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"sketchml/internal/cluster"
 	"sketchml/internal/codec"
 	"sketchml/internal/dataset"
 	"sketchml/internal/gradient"
@@ -52,6 +53,11 @@ func RunSSPContext(ctx context.Context, cfg Config, staleness int, speeds []floa
 	}()
 	if err := cfg.fill(); err != nil {
 		return nil, err
+	}
+	if cfg.Topology != cluster.TopologyStar {
+		// SSP workers progress at different round tags, so there is no
+		// synchronized round to merge across — gather topologies are BSP-only.
+		return nil, fmt.Errorf("trainer: topology %q requires the driver architecture (SSP runs are star)", cfg.Topology)
 	}
 	if staleness < 0 {
 		staleness = 0

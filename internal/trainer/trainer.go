@@ -53,6 +53,15 @@ type Config struct {
 	Optimizer OptimizerFactory
 	// Workers is the number of executors (the paper's W). Minimum 1.
 	Workers int
+	// Topology selects how worker gradients reach the driver on the gather
+	// half of each round (broadcast always fans out over the direct driver
+	// links). The zero value is cluster.TopologyStar — today's behavior:
+	// every worker sends to the driver, which decodes all W messages.
+	// TopologyTree and TopologyRing aggregate en route via codec merging,
+	// so they require a Codec implementing codec.Merger and the in-memory
+	// transport (UseTCP only wires star links). Driver topology only:
+	// RunPS and RunSSP reject non-star settings.
+	Topology cluster.Topology
 	// BatchFraction is the global mini-batch size as a fraction of the
 	// training set (the paper uses 0.1). Values <= 0 default to 0.1.
 	BatchFraction float64
@@ -158,6 +167,19 @@ type EpochStats struct {
 	// ratio. RawDownBytes is per worker, like DownBytes.
 	RawUpBytes   int64
 	RawDownBytes int64
+	// DecodedBytes counts gather-side codec payload bytes the driver
+	// actually decoded this epoch (frame envelopes and aggregate prefixes
+	// excluded). Under star it tracks UpBytes minus envelopes; under tree
+	// or ring it is the measure of how much decode work hierarchical
+	// aggregation took off the driver.
+	DecodedBytes int64
+
+	// Merges and MergeTime account the wire-to-wire message merges workers
+	// performed on behalf of the driver (tree interior nodes, ring reduce
+	// steps). Like ComputeTime they are end-of-run worker totals spread
+	// uniformly across epochs. Always zero under star.
+	Merges    int64
+	MergeTime time.Duration
 
 	ComputeTime time.Duration // summed worker gradient computation
 	EncodeTime  time.Duration // summed compression CPU (all parties)
@@ -211,6 +233,18 @@ type Result struct {
 	WorkerCorruptFrames int64 // frames workers could not parse or decode
 	LostReports         int   // end-of-run reports that never arrived
 	WorkerFailures      int   // workers that exited with an error
+
+	// Topology is the gather topology the run used (Config.Topology).
+	Topology string
+	// LevelMergeNs breaks worker merge time down by tree level (index 0 is
+	// the driver's direct children, deeper levels follow). Ring runs report
+	// one level. Empty for star runs, where nothing merges.
+	LevelMergeNs []int64
+	// WorkerAggBytes[w] is the bytes worker w received over its
+	// aggregation links (tree child uplinks, ring in-edge) across the run —
+	// the per-link cost hierarchical gather adds to the workers. Nil for
+	// star runs.
+	WorkerAggBytes []int64
 
 	// SketchError is the continuously measured recovery error of the
 	// broadcast aggregates (exact vs. decoded, every round). Non-nil only
@@ -309,6 +343,21 @@ func (c *Config) fill() error {
 	if c.CheckpointEvery < 1 {
 		c.CheckpointEvery = 1
 	}
+	switch c.Topology {
+	case cluster.TopologyStar:
+	case cluster.TopologyTree, cluster.TopologyRing:
+		if c.UseTCP {
+			return fmt.Errorf("trainer: topology %s requires the in-memory transport (UseTCP wires star links only)", c.Topology)
+		}
+		if _, ok := c.Codec.(codec.Merger); !ok {
+			// No decode/re-encode fallback: stateful codecs (ErrorFeedback)
+			// mutate sender residual on Encode, so a silent fallback would
+			// corrupt training, not just slow it down.
+			return fmt.Errorf("trainer: topology %s requires a mergeable codec (codec.Merger), %s is not", c.Topology, c.Codec.Name())
+		}
+	default:
+		return fmt.Errorf("trainer: unknown topology %d", int(c.Topology))
+	}
 	return c.Network.Validate()
 }
 
@@ -328,9 +377,14 @@ type workerReport struct {
 	timeouts     int64 // broadcast waits that expired
 	corrupt      int64 // frames that failed envelope parse or decode
 	skippedSteps int64 // optimizer steps skipped (missed or undecodable aggregates)
+
+	// Hierarchical-gather accounting (zero under star).
+	mergeNs  int64 // CPU spent in codec.MergeInto
+	merges   int64 // successful wire-to-wire merges performed
+	aggBytes int64 // bytes received over aggregation links (children, ring-in)
 }
 
-const workerReportLen = 64
+const workerReportLen = 88
 
 func (w workerReport) marshal() []byte {
 	out := make([]byte, 0, workerReportLen)
@@ -342,6 +396,9 @@ func (w workerReport) marshal() []byte {
 	out = binary.LittleEndian.AppendUint64(out, uint64(w.timeouts))
 	out = binary.LittleEndian.AppendUint64(out, uint64(w.corrupt))
 	out = binary.LittleEndian.AppendUint64(out, uint64(w.skippedSteps))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.mergeNs))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.merges))
+	out = binary.LittleEndian.AppendUint64(out, uint64(w.aggBytes))
 	return out
 }
 
@@ -358,6 +415,9 @@ func parseWorkerReport(data []byte) (workerReport, error) {
 		timeouts:     int64(binary.LittleEndian.Uint64(data[40:])),
 		corrupt:      int64(binary.LittleEndian.Uint64(data[48:])),
 		skippedSteps: int64(binary.LittleEndian.Uint64(data[56:])),
+		mergeNs:      int64(binary.LittleEndian.Uint64(data[64:])),
+		merges:       int64(binary.LittleEndian.Uint64(data[72:])),
+		aggBytes:     int64(binary.LittleEndian.Uint64(data[80:])),
 	}, nil
 }
 
@@ -438,11 +498,29 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 	// ConnMetrics set, so the registry's cluster.* counters aggregate the
 	// run's whole driver-side traffic.
 	connMet := cluster.NewConnMetrics(cfg.Metrics)
-	wrap := func(w int, inner cluster.Conn) *cluster.CountingConn {
+	// wrap instruments one receiving end: seedIdx picks the link's
+	// deterministic chaos schedule (aggregation links use indexes past the
+	// worker range so every link faults independently but reproducibly),
+	// and outageFor names the worker whose ChaosOutage window applies to
+	// this link (negative: none). Under a tree topology, worker w≥2's
+	// outage moves from its driver link to its tree uplink: an interior
+	// node dropping out should degrade its subtree's gather while its
+	// broadcasts keep flowing — per-subtree degradation, not whole-run.
+	outageOnDriverLink := func(w int) int {
+		if cfg.Topology == cluster.TopologyTree && w >= 2 {
+			return -1
+		}
+		return w
+	}
+	wrap := func(seedIdx int, inner cluster.Conn, outageFor int) *cluster.CountingConn {
 		if cfg.Chaos != nil {
 			spec := *cfg.Chaos
-			spec.Seed = cfg.Chaos.Seed + int64(w)*1_000_003
-			spec.Outage = cfg.ChaosOutage[w]
+			spec.Seed = cfg.Chaos.Seed + int64(seedIdx)*1_000_003
+			if outageFor >= 0 {
+				spec.Outage = cfg.ChaosOutage[outageFor]
+			} else {
+				spec.Outage = cluster.OutageWindow{}
+			}
 			inner = cluster.NewChaos(inner, spec)
 		}
 		return cluster.NewCountingObserved(inner, connMet)
@@ -511,16 +589,24 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 			// link, so chaos schedules are reproducible per link but the
 			// link↔worker pairing is not pinned over TCP; the in-memory
 			// transport pins both.
-			driverSide[w] = wrap(w, c)
+			driverSide[w] = wrap(w, c, w)
 		}
 	} else {
 		for w := 0; w < cfg.Workers; w++ {
 			d, c := cluster.Pair(2)
-			driverSide[w] = wrap(w, d)
+			driverSide[w] = wrap(w, d, outageOnDriverLink(w))
 			workerSide[w] = c
 		}
 	}
+	// Non-star topologies add worker↔worker aggregation links on top of the
+	// star driver links (which keep carrying broadcasts, reports, and
+	// control frames). Their chaos seeds are offset past the worker range so
+	// every link gets a distinct, reproducible fault schedule.
+	links, auxConns := buildAggLinks(&cfg, wrap, pDim)
 	defer func() {
+		for _, c := range auxConns {
+			_ = c.Close()
+		}
 		for _, c := range driverSide {
 			_ = c.Close()
 		}
@@ -538,6 +624,12 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 			defer close(watchDone)
 			select {
 			case <-ctx.Done():
+				// Aggregation links close too: a strict-mode tree or ring
+				// worker blocked on a child or ring receive has no deadline,
+				// so only a closed link unblocks it.
+				for _, c := range auxConns {
+					_ = c.Close()
+				}
 				for _, c := range driverSide {
 					_ = c.Close()
 				}
@@ -555,7 +647,7 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 			wcfg.Codec = cfg.CodecFactory()
 		}
 		go func(w int, wcfg Config) {
-			workerErrs <- runWorker(wcfg, shards[w], workerSide[w], localBatch, startRound, totalRounds, cfg.Seed+int64(w)*7919)
+			workerErrs <- runWorker(wcfg, shards[w], workerSide[w], &links[w], localBatch, startRound, totalRounds, cfg.Seed+int64(w)*7919)
 		}(w, wcfg)
 	}
 
@@ -577,6 +669,10 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 		CodecName: cfg.Codec.Name(),
 		ModelName: cfg.Trainable.Name(),
 		Workers:   cfg.Workers,
+		Topology:  cfg.Topology.String(),
+	}
+	if cfg.Topology != cluster.TopologyStar {
+		res.WorkerAggBytes = make([]int64, cfg.Workers)
 	}
 	var cumSimSeconds float64
 	var prevUp, prevDown int64
@@ -625,8 +721,17 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 			// the serial path, so it sums the per-goroutine decode durations
 			// rather than wall time.
 			tGather := time.Now()
-			if err := gatherRound(cfg, globalRound, driverSide, strikes, decodeReuse, acc, &es, &driverDecode); err != nil {
-				return nil, err
+			var gerr error
+			switch cfg.Topology {
+			case cluster.TopologyTree:
+				gerr = gatherTreeRound(cfg, globalRound, driverSide, strikes, decodeReuse, acc, &es, &driverDecode)
+			case cluster.TopologyRing:
+				gerr = gatherRingRound(cfg, globalRound, driverSide, strikes, decodeReuse, acc, &es, &driverDecode)
+			default:
+				gerr = gatherRound(cfg, globalRound, driverSide, strikes, decodeReuse, acc, &es, &driverDecode)
+			}
+			if gerr != nil {
+				return nil, gerr
 			}
 			agg := acc.Sum()
 			gatherDur := time.Since(tGather)
@@ -741,7 +846,8 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 	// mode each collection is bounded by the round deadline and a lost
 	// report degrades the stats instead of failing the run; stale gradient
 	// frames still queued from degraded rounds are skimmed off first.
-	var totalCompute, totalWorkerEncode, totalWorkerDecode time.Duration
+	var totalCompute, totalWorkerEncode, totalWorkerDecode, totalMerge time.Duration
+	var totalMerges int64
 	var lossSum float64
 	var lossRounds int64
 	for w := 0; w < cfg.Workers; w++ {
@@ -761,6 +867,19 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 		res.WorkerTimeouts += rep.timeouts
 		res.WorkerCorruptFrames += rep.corrupt
 		res.WorkerSkippedSteps += rep.skippedSteps
+		totalMerge += time.Duration(rep.mergeNs)
+		totalMerges += rep.merges
+		if rep.merges > 0 || rep.aggBytes > 0 {
+			if lvl := aggLevel(cfg.Topology, w); lvl >= 0 {
+				for len(res.LevelMergeNs) <= lvl {
+					res.LevelMergeNs = append(res.LevelMergeNs, 0)
+				}
+				res.LevelMergeNs[lvl] += rep.mergeNs
+			}
+		}
+		if res.WorkerAggBytes != nil {
+			res.WorkerAggBytes[w] = rep.aggBytes
+		}
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		if err := <-workerErrs; err != nil {
@@ -789,6 +908,13 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 		es.ComputeTime = totalCompute / time.Duration(nEpochs)
 		es.EncodeTime += totalWorkerEncode / time.Duration(nEpochs)
 		es.DecodeTime += totalWorkerDecode / time.Duration(nEpochs)
+		es.MergeTime = totalMerge / time.Duration(nEpochs)
+		es.Merges = totalMerges / int64(nEpochs)
+		if i == 0 {
+			// The first epoch absorbs the integer-division remainder so the
+			// per-epoch counts still sum to the run total.
+			es.Merges += totalMerges % int64(nEpochs)
+		}
 		es.TrainLoss = meanLoss
 
 		// Simulated epoch time: workers run in parallel (their compute and
@@ -817,6 +943,8 @@ func RunContext(ctx context.Context, cfg Config, train, test *dataset.Dataset) (
 // gatherOutcome is one worker's contribution to one gather round.
 type gatherOutcome struct {
 	g        *gradient.Sparse
+	count    int   // worker gradients summed into g (frameAgg count; 1 for star)
+	bytes    int64 // codec payload bytes decoded for g
 	decodeNs int64
 	timeouts int
 	corrupt  int
@@ -889,6 +1017,8 @@ func recvGradient(cfg Config, conn cluster.Conn, w, round int, dst *gradient.Spa
 			continue
 		}
 		out.g = g
+		out.count = 1
+		out.bytes = int64(len(payload))
 		return out
 	}
 }
@@ -944,6 +1074,7 @@ func gatherRound(cfg Config, round int, driverSide []*cluster.CountingConn, stri
 		if outs[w].g != nil {
 			arrived++
 			es.RawUpBytes += rawWireBytes(outs[w].g)
+			es.DecodedBytes += outs[w].bytes
 		}
 	}
 	if !cfg.tolerant() {
@@ -1102,8 +1233,11 @@ func collectReport(cfg Config, conn cluster.Conn, w int, drained bool) (workerRe
 	}
 }
 
-func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch, startRound, totalRounds int, seed int64) error {
+func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, links *workerLinks, localBatch, startRound, totalRounds int, seed int64) error {
 	defer func() { _ = conn.Close() }()
+	// Closing the aggregation links on exit is what unblocks a strict-mode
+	// peer still receiving on the shared pair.
+	defer links.close()
 	pDim := cfg.Trainable.ParamDim(shard.Dim)
 	theta := newParams(cfg, pDim)
 	opt := cfg.Optimizer(pDim)
@@ -1142,15 +1276,26 @@ func runWorker(cfg Config, shard *dataset.Dataset, conn cluster.Conn, localBatch
 		rep.lossSum += loss
 		rep.rounds++
 
-		t0 = time.Now()
-		msg, err := cfg.Codec.Encode(g)
-		rep.encodeNs += time.Since(t0).Nanoseconds()
-		if err != nil {
-			return fmt.Errorf("trainer: worker encode: %w", err)
-		}
-		sendBuf = appendFrame(sendBuf[:0], frameGrad, round, msg)
-		if err := conn.Send(sendBuf); err != nil {
-			return fmt.Errorf("trainer: worker send: %w", err)
+		switch links.topo {
+		case cluster.TopologyTree:
+			if err := treeGatherStep(cfg, links, conn, g, round, &rep); err != nil {
+				return err
+			}
+		case cluster.TopologyRing:
+			if err := ringReduceStep(cfg, links, conn, g, round, &rep); err != nil {
+				return err
+			}
+		default:
+			t0 = time.Now()
+			msg, err := cfg.Codec.Encode(g)
+			rep.encodeNs += time.Since(t0).Nanoseconds()
+			if err != nil {
+				return fmt.Errorf("trainer: worker encode: %w", err)
+			}
+			sendBuf = appendFrame(sendBuf[:0], frameGrad, round, msg)
+			if err := conn.Send(sendBuf); err != nil {
+				return fmt.Errorf("trainer: worker send: %w", err)
+			}
 		}
 
 		// Wait for the aggregate. The worker never free-runs: it advances

@@ -228,6 +228,7 @@ func TestWorkerReportRoundTrip(t *testing.T) {
 	rep := workerReport{
 		computeNs: 123, encodeNs: 456, decodeNs: 789, lossSum: 1.5, rounds: 10,
 		timeouts: 3, corrupt: 2, skippedSteps: 4,
+		mergeNs: 321, merges: 6, aggBytes: 4096,
 	}
 	got, err := parseWorkerReport(rep.marshal())
 	if err != nil {

@@ -164,6 +164,22 @@ type ChaosSpec = cluster.ChaosSpec
 // TrainConfig.ChaosOutage).
 type OutageWindow = cluster.OutageWindow
 
+// Topology selects the gather aggregation shape of a driver run (set
+// TrainConfig.Topology): star decodes every worker's message at the driver,
+// tree and ring merge encoded messages wire-to-wire on their way there.
+// tree/ring require a mergeable codec (codec.Merger — SketchML and Raw).
+type Topology = cluster.Topology
+
+// Gather topology values for TrainConfig.Topology.
+const (
+	TopologyStar = cluster.TopologyStar
+	TopologyTree = cluster.TopologyTree
+	TopologyRing = cluster.TopologyRing
+)
+
+// ParseTopology maps "star" (or ""), "tree", and "ring" to a Topology.
+func ParseTopology(s string) (Topology, error) { return cluster.ParseTopology(s) }
+
 // Train executes the paper's synchronous distributed training loop:
 // the training set is sharded over cfg.Workers workers, each round every
 // worker's gradient travels through cfg.Codec to the driver, and the
